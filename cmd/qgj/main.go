@@ -1,0 +1,101 @@
+// Command qgj runs the QGJ-Master fuzzing workflow: a simulated phone
+// paired with a simulated watch carrying the paper's 46-app fleet, the QGJ
+// apps installed on both, and campaigns orchestrated over the Wear
+// MessageAPI — Figure 1a end to end.
+//
+// Usage:
+//
+//	qgj -list                             # list fuzzable wear components
+//	qgj -app com.strava.wear -campaign B  # fuzz one app with one campaign
+//	qgj -app com.strava.wear -all         # all four campaigns
+//	qgj -logcat                           # dump the watch log afterwards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qgj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qgj", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "fleet and fuzzer seed")
+	list := fs.Bool("list", false, "list fuzzable components on the wearable")
+	app := fs.String("app", "", "target package on the wearable")
+	campaign := fs.String("campaign", "A", "fuzz intent campaign (A-D)")
+	all := fs.Bool("all", false, "run all four campaigns against -app")
+	quick := fs.Int("quick", 0, "scale factor k (>0 shrinks campaigns; 0 = full scale)")
+	logDump := fs.Bool("logcat", false, "dump the wearable's logcat after fuzzing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	phone := device.NewPhone("nexus4")
+	watch := device.NewWatch("moto360")
+	device.Pair(phone, watch)
+	fleet := apps.BuildWearFleet(*seed)
+	if err := fleet.InstallInto(watch.OS); err != nil {
+		return err
+	}
+	core.InstallWearApp(watch)
+	mobile := core.InstallMobileApp(phone)
+
+	if *list {
+		comps, err := mobile.ListWearComponents()
+		if err != nil {
+			return err
+		}
+		for _, c := range comps {
+			exported := "exported"
+			if !c.Exported {
+				exported = "internal"
+			}
+			fmt.Printf("%-8s %-9s %s/%s\n", c.Type, exported, c.Package, c.Class)
+		}
+		fmt.Printf("%d components\n", len(comps))
+		return nil
+	}
+
+	if *app == "" {
+		return fmt.Errorf("missing -app (or use -list); e.g. -app com.strava.wear")
+	}
+	gen := core.GeneratorConfig{Seed: *seed}
+	if *quick > 0 {
+		gen.ActionStride = *quick
+		gen.SchemeStride = (*quick + 1) / 2
+		gen.RandomVariants = 1
+		gen.ExtrasVariants = 1
+	}
+
+	campaigns := core.AllCampaigns
+	if !*all {
+		c, err := core.ParseCampaign(*campaign)
+		if err != nil {
+			return err
+		}
+		campaigns = []core.Campaign{c}
+	}
+	for _, c := range campaigns {
+		sum, err := mobile.StartFuzz(*app, c, gen)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sum.String())
+	}
+
+	if *logDump {
+		fmt.Print(watch.OS.Logcat().Dump())
+	}
+	return nil
+}

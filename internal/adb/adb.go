@@ -1,0 +1,469 @@
+// Package adb simulates the Android Debug Bridge shell utilities QGJ-UI
+// injects through: am (ActivityManager), pm (PackageManager), input, and
+// logcat. Section IV-D's findings hinge on these tools' input validation —
+// am silently normalizes a missing action/category to MAIN/LAUNCHER, pm
+// rejects permission strings that are not registered on the device, and
+// input parses coordinates strictly — so the sanitization behaviour here
+// is load-bearing for Table V.
+package adb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/intent"
+	"repro/internal/logcat"
+	"repro/internal/wearos"
+)
+
+// Shell is an adb shell session bound to one device.
+type Shell struct {
+	dev *wearos.OS
+}
+
+// NewShell opens a shell on the device.
+func NewShell(dev *wearos.OS) *Shell {
+	return &Shell{dev: dev}
+}
+
+// Result is the outcome of one shell command.
+type Result struct {
+	// Output is what the utility printed.
+	Output string
+	// ExitCode is the process exit status (0 = success).
+	ExitCode int
+	// Delivery is set when the command dispatched an intent.
+	Delivery wearos.DeliveryResult
+	// SentIntent is the intent the command dispatched, if any.
+	SentIntent *intent.Intent
+}
+
+// Run parses and executes one shell command line.
+func (s *Shell) Run(cmdline string) Result {
+	fields := tokenize(cmdline)
+	if len(fields) == 0 {
+		return Result{Output: "", ExitCode: 0}
+	}
+	switch fields[0] {
+	case "am":
+		return s.runAM(fields[1:])
+	case "pm":
+		return s.runPM(fields[1:])
+	case "input":
+		return s.runInput(fields[1:])
+	case "logcat":
+		return s.runLogcat(fields[1:])
+	default:
+		return Result{
+			Output:   fmt.Sprintf("/system/bin/sh: %s: not found", fields[0]),
+			ExitCode: 127,
+		}
+	}
+}
+
+// tokenize splits a command line on spaces, honoring single and double
+// quotes (adb shell passes through a POSIX-ish shell).
+func tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inSingle, inDouble := false, false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == ' ' && !inSingle && !inDouble:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// runAM implements `am start`, `am startservice`, and `am start-activity`.
+func (s *Shell) runAM(args []string) Result {
+	if len(args) == 0 {
+		return Result{Output: amUsage, ExitCode: 1}
+	}
+	var service bool
+	switch args[0] {
+	case "start", "start-activity":
+	case "startservice", "start-service":
+		service = true
+	default:
+		return Result{Output: "Error: unknown command: " + args[0], ExitCode: 1}
+	}
+
+	in := &intent.Intent{SenderUID: wearos.UIDShell}
+	var parseErr string
+	i := 1
+	for i < len(args) {
+		arg := args[i]
+		next := func() (string, bool) {
+			if i+1 >= len(args) {
+				parseErr = "Error: option " + arg + " requires an argument"
+				return "", false
+			}
+			i++
+			return args[i], true
+		}
+		switch arg {
+		case "-n":
+			v, ok := next()
+			if !ok {
+				break
+			}
+			cn, ok := intent.UnflattenComponent(v)
+			if !ok {
+				parseErr = "Error: invalid component name: " + v
+				break
+			}
+			in.Component = cn
+		case "-a":
+			v, ok := next()
+			if !ok {
+				break
+			}
+			// am does NOT validate action strings: "the am utility would
+			// forward the string 'S0me.r@ndom.$trinG' as an action string
+			// to a component and relies on the correctness of input
+			// validation at the component" (Section IV-D).
+			in.Action = v
+		case "-d":
+			v, ok := next()
+			if !ok {
+				break
+			}
+			u, ok := intent.ParseURI(v)
+			if !ok {
+				parseErr = "Error: Invalid URI: " + v
+				break
+			}
+			in.Data = u
+		case "-c":
+			v, ok := next()
+			if !ok {
+				break
+			}
+			in.AddCategory(v)
+		case "-t":
+			v, ok := next()
+			if !ok {
+				break
+			}
+			in.Type = v
+		case "--es":
+			k, ok := next()
+			if !ok {
+				break
+			}
+			v, ok := next()
+			if !ok {
+				break
+			}
+			in.PutExtra(k, intent.StringValue(v))
+		case "--ei":
+			k, ok := next()
+			if !ok {
+				break
+			}
+			v, ok := next()
+			if !ok {
+				break
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				parseErr = "Error: Invalid int value: " + v
+				break
+			}
+			in.PutExtra(k, intent.IntValue(n))
+		case "--ef":
+			k, ok := next()
+			if !ok {
+				break
+			}
+			v, ok := next()
+			if !ok {
+				break
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				parseErr = "Error: Invalid float value: " + v
+				break
+			}
+			in.PutExtra(k, intent.FloatValue(f))
+		case "--ez":
+			k, ok := next()
+			if !ok {
+				break
+			}
+			v, ok := next()
+			if !ok {
+				break
+			}
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				parseErr = "Error: Invalid boolean value: " + v
+				break
+			}
+			in.PutExtra(k, intent.BoolValue(b))
+		case "--esn":
+			k, ok := next()
+			if !ok {
+				break
+			}
+			in.PutExtra(k, intent.NullValue())
+		default:
+			parseErr = "Error: Unknown option: " + arg
+		}
+		if parseErr != "" {
+			return Result{Output: parseErr, ExitCode: 1}
+		}
+		i++
+	}
+
+	if in.Component.IsZero() && in.Action == "" {
+		return Result{Output: "Error: Intent has no component and no action", ExitCode: 1}
+	}
+
+	// The sanitization the paper highlights: launching without an action or
+	// category makes am fill in MAIN/LAUNCHER ("am automatically sets the
+	// action and category values as {act=action.MAIN cat=category.LAUNCHER}").
+	if !service && in.Action == "" && len(in.Categories) == 0 {
+		in.Action = "android.intent.action.MAIN"
+		in.AddCategory(intent.CategoryLauncher)
+	}
+
+	var res wearos.DeliveryResult
+	if service {
+		res = s.dev.StartService(in)
+	} else {
+		res = s.dev.StartActivity(in)
+	}
+	out := Result{Delivery: res, SentIntent: in}
+	switch res {
+	case wearos.BlockedNotFound:
+		out.Output = "Error: Activity not started, unable to resolve Intent " + in.String()
+		out.ExitCode = 1
+	case wearos.BlockedSecurity:
+		out.Output = "java.lang.SecurityException: Permission Denial: starting Intent " + in.String()
+		out.ExitCode = 1
+	default:
+		out.Output = "Starting: Intent " + in.String()
+	}
+	return out
+}
+
+const amUsage = "usage: am [start|startservice] [-n COMPONENT] [-a ACTION] [-d DATA] ..."
+
+// runPM implements the pm subcommands QGJ-UI exercises: grant/revoke and
+// list permissions. pm is strict: "if the pm utility is asked to send a
+// random permission string ... it rejects the input string saying that no
+// such permission exists" (Section IV-D).
+func (s *Shell) runPM(args []string) Result {
+	if len(args) == 0 {
+		return Result{Output: "usage: pm [grant|revoke|list] ...", ExitCode: 1}
+	}
+	switch args[0] {
+	case "grant", "revoke":
+		if len(args) < 3 {
+			return Result{Output: "Error: usage: pm " + args[0] + " PACKAGE PERMISSION", ExitCode: 1}
+		}
+		pkg, perm := args[1], args[2]
+		if s.dev.Registry().Package(pkg) == nil {
+			return Result{Output: "Error: Unknown package: " + pkg, ExitCode: 1}
+		}
+		if !s.dev.Permissions().Known(perm) {
+			return Result{
+				Output:   "Error: Unknown permission: " + perm,
+				ExitCode: 1,
+			}
+		}
+		return Result{Output: ""}
+	case "list":
+		if len(args) > 1 && args[1] == "permissions" {
+			return Result{Output: strings.Join(s.dev.Permissions().List(), "\n")}
+		}
+		var names []string
+		for _, p := range s.dev.Registry().Packages() {
+			names = append(names, "package:"+p.Name)
+		}
+		return Result{Output: strings.Join(names, "\n")}
+	default:
+		return Result{Output: "Error: unknown command: " + args[0], ExitCode: 1}
+	}
+}
+
+// Watch screen bounds for coordinate validation (a 320x320 round Wear
+// display).
+const (
+	screenW = 320
+	screenH = 320
+)
+
+// runInput implements `input tap|swipe|text|keyevent`. The input utility
+// has "robust input validation and sanitization routines": coordinates
+// must parse as floats; out-of-screen coordinates are clamped rather than
+// forwarded (the paper's example random event `input tap -8803.85 4668.17`
+// does not crash anything).
+func (s *Shell) runInput(args []string) Result {
+	if len(args) == 0 {
+		return Result{Output: inputUsage, ExitCode: 1}
+	}
+	switch args[0] {
+	case "tap":
+		if len(args) != 3 {
+			return Result{Output: "Error: tap requires exactly 2 coordinates", ExitCode: 1}
+		}
+		if _, _, ok := parseXY(args[1], args[2]); !ok {
+			return Result{Output: "Error: invalid coordinates: " + args[1] + " " + args[2], ExitCode: 1}
+		}
+		// Clamped in-bounds tap: absorbed by the window manager.
+		return Result{Output: ""}
+	case "swipe":
+		if len(args) != 5 && len(args) != 6 {
+			return Result{Output: "Error: swipe requires 4 coordinates", ExitCode: 1}
+		}
+		if _, _, ok := parseXY(args[1], args[2]); !ok {
+			return Result{Output: "Error: invalid coordinates", ExitCode: 1}
+		}
+		if _, _, ok := parseXY(args[3], args[4]); !ok {
+			return Result{Output: "Error: invalid coordinates", ExitCode: 1}
+		}
+		return Result{Output: ""}
+	case "text":
+		if len(args) < 2 {
+			return Result{Output: "Error: text requires an argument", ExitCode: 1}
+		}
+		return Result{Output: ""}
+	case "keyevent":
+		if len(args) != 2 {
+			return Result{Output: "Error: keyevent requires a key code", ExitCode: 1}
+		}
+		if _, err := strconv.Atoi(args[1]); err != nil {
+			// Key names like KEYCODE_HOME are also accepted.
+			if !strings.HasPrefix(args[1], "KEYCODE_") {
+				return Result{Output: "Error: invalid key code: " + args[1], ExitCode: 1}
+			}
+		}
+		return Result{Output: ""}
+	default:
+		return Result{Output: "Error: unknown input source: " + args[0], ExitCode: 1}
+	}
+}
+
+const inputUsage = "usage: input [tap|swipe|text|keyevent] ..."
+
+// parseXY validates a coordinate pair, clamping into the screen like the
+// input dispatcher does.
+func parseXY(xs, ys string) (x, y float64, ok bool) {
+	x, errX := strconv.ParseFloat(xs, 64)
+	y, errY := strconv.ParseFloat(ys, 64)
+	if errX != nil || errY != nil {
+		return 0, 0, false
+	}
+	x = clamp(x, 0, screenW-1)
+	y = clamp(y, 0, screenH-1)
+	return x, y, true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// runLogcat implements the logcat subcommands QGJ's workflow uses:
+//
+//	logcat -c           clear the buffer
+//	logcat [-d]         dump everything
+//	logcat -s TAG ...   restrict to the given tags
+//	logcat TAG:P ...    filterspecs (priority P = V/D/I/W/E/F, *:P for all)
+func (s *Shell) runLogcat(args []string) Result {
+	tags := map[string]bool{}
+	minLevelByTag := map[string]logcat.Level{}
+	var globalMin logcat.Level
+	silencedDefault := false
+
+	i := 0
+	for i < len(args) {
+		switch a := args[i]; a {
+		case "-c":
+			s.dev.Logcat().Clear()
+			return Result{Output: ""}
+		case "-d", "-v", "threadtime", "brief":
+			// -d is implicit (we always dump and exit); format specifiers
+			// are accepted and ignored — output is always threadtime.
+		case "-s":
+			silencedDefault = true
+		default:
+			if tag, prio, ok := strings.Cut(a, ":"); ok {
+				lvl, err := parseLevel(prio)
+				if err != nil {
+					return Result{Output: "Invalid filter expression: " + a, ExitCode: 1}
+				}
+				if tag == "*" {
+					globalMin = lvl
+				} else {
+					minLevelByTag[tag] = lvl
+					silencedDefault = true
+				}
+			} else {
+				tags[a] = true
+			}
+		}
+		i++
+	}
+
+	var sb strings.Builder
+	for _, e := range s.dev.Logcat().Snapshot() {
+		if lvl, ok := minLevelByTag[e.Tag]; ok {
+			if e.Level < lvl {
+				continue
+			}
+		} else if silencedDefault && !tags[e.Tag] {
+			continue
+		}
+		if globalMin != 0 && e.Level < globalMin {
+			continue
+		}
+		sb.WriteString(e.Format())
+		sb.WriteByte('\n')
+	}
+	return Result{Output: sb.String()}
+}
+
+func parseLevel(p string) (logcat.Level, error) {
+	switch p {
+	case "V":
+		return logcat.Verbose, nil
+	case "D":
+		return logcat.Debug, nil
+	case "I":
+		return logcat.Info, nil
+	case "W":
+		return logcat.Warn, nil
+	case "E":
+		return logcat.Error, nil
+	case "F":
+		return logcat.Fatal, nil
+	case "S":
+		return logcat.Fatal + 1, nil // silence
+	default:
+		return 0, fmt.Errorf("adb: unknown priority %q", p)
+	}
+}

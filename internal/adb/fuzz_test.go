@@ -1,0 +1,47 @@
+package adb
+
+import (
+	"testing"
+
+	"repro/internal/wearos"
+)
+
+// FuzzShellRun asserts the shell never panics on arbitrary command lines —
+// QGJ-UI's random mode feeds it exactly this kind of garbage — and that it
+// always returns a structured Result.
+func FuzzShellRun(f *testing.F) {
+	for _, seed := range []string{
+		"am start -n com.app.one/.ui.Main",
+		"am start -a 'S0me.r@ndom.$trinG' -n com.app.one/.ui.Main",
+		"am startservice -n com.app.one/.svc.Sync --esn key",
+		"input tap -8803.85 4668.17",
+		"input keyevent KEYCODE_HOME",
+		"pm grant com.app.one android.permission.BODY_SENSORS",
+		"pm list permissions",
+		"logcat -d -s ActivityManager",
+		"logcat ActivityManager:W *:E",
+		"am",
+		"am start",
+		"am start --ei k",
+		"input",
+		"",
+		"     ",
+		`am start -a "two words"`,
+		"rm -rf /",
+		"am start -n x -d ::::",
+	} {
+		f.Add(seed)
+	}
+	dev := wearos.New(wearos.DefaultEmulatorConfig())
+	sh := NewShell(dev)
+	f.Fuzz(func(t *testing.T, cmd string) {
+		res := sh.Run(cmd)
+		if res.ExitCode < 0 || res.ExitCode > 255 {
+			t.Fatalf("exit code out of range: %d for %q", res.ExitCode, cmd)
+		}
+		// A dispatched intent must always come with a delivery result.
+		if res.SentIntent != nil && res.Delivery == 0 {
+			t.Fatalf("sent intent without delivery result for %q", cmd)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+)
+
+// ManifestationCounts tallies components by their most severe
+// manifestation (Fig. 3a).
+func (r *Report) ManifestationCounts() map[Manifestation]int {
+	out := make(map[Manifestation]int, 4)
+	for _, cr := range r.Components {
+		out[cr.Manifestation()]++
+	}
+	return out
+}
+
+// ClassCount is one bar of an exception-distribution figure.
+type ClassCount struct {
+	Class javalang.Class
+	Count int
+}
+
+// sortClassCounts orders by descending count, class name as tiebreak.
+func sortClassCounts(m map[javalang.Class]int) []ClassCount {
+	out := make([]ClassCount, 0, len(m))
+	for c, n := range m {
+		out = append(out, ClassCount{Class: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// UncaughtClassDistribution counts uncaught exception classes, once per
+// component per class (Fig. 2's method: "each exception is counted once
+// per component, even if it was raised several times").
+func (r *Report) UncaughtClassDistribution(includeSecurity bool) []ClassCount {
+	m := make(map[javalang.Class]int)
+	for _, cr := range r.Components {
+		for _, c := range cr.UncaughtClasses(includeSecurity) {
+			m[c]++
+		}
+	}
+	return sortClassCounts(m)
+}
+
+// UncaughtByComponentType splits the Fig. 2 distribution by component type
+// ("grouped by component type").
+func (r *Report) UncaughtByComponentType(includeSecurity bool) map[string][]ClassCount {
+	byType := map[string]map[javalang.Class]int{}
+	for _, cr := range r.Components {
+		t := cr.Type
+		if t == "" {
+			t = "unknown"
+		}
+		m, ok := byType[t]
+		if !ok {
+			m = make(map[javalang.Class]int)
+			byType[t] = m
+		}
+		for _, c := range cr.UncaughtClasses(includeSecurity) {
+			m[c]++
+		}
+	}
+	out := make(map[string][]ClassCount, len(byType))
+	for t, m := range byType {
+		out[t] = sortClassCounts(m)
+	}
+	return out
+}
+
+// SecurityShare returns the fraction of all (component, class) uncaught
+// exception pairs that are SecurityException — the paper reports 81.3%.
+func (r *Report) SecurityShare() float64 {
+	security, total := 0, 0
+	for _, cr := range r.Components {
+		classes := cr.UncaughtClasses(true)
+		total += len(classes)
+		for _, c := range classes {
+			if c == javalang.ClassSecurity {
+				security++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(security) / float64(total)
+}
+
+// BlameShare is a fractional blame assignment for Fig. 3b: when several
+// exception classes are tied in an escalation ("a tight-knit pattern among
+// the exceptions is deduced and one cannot be inferred to causally precede
+// the others ... we assign the blame for that error manifestation equally
+// among the exception classes", Section IV-A).
+type BlameShare struct {
+	Class javalang.Class
+	Share float64
+}
+
+// ManifestationBlame computes Fig. 3b: for each manifestation, the
+// distribution of blamed exception classes over components with that
+// manifestation. For the no-effect bucket the pseudo-class "(none)" counts
+// components without any exception.
+func (r *Report) ManifestationBlame() map[Manifestation][]BlameShare {
+	acc := map[Manifestation]map[javalang.Class]float64{}
+	add := func(m Manifestation, cls javalang.Class, w float64) {
+		mm, ok := acc[m]
+		if !ok {
+			mm = make(map[javalang.Class]float64)
+			acc[m] = mm
+		}
+		mm[cls] += w
+	}
+	for _, cr := range r.Components {
+		switch m := cr.Manifestation(); m {
+		case ManifestCrash:
+			// Blame the temporal root cause(s); equal split among distinct
+			// roots seen for the component.
+			blameEqually(cr.CrashRoots, func(c javalang.Class, w float64) { add(m, c, w) })
+		case ManifestUnresponsive:
+			if len(cr.ANRClasses) == 0 {
+				add(m, NoExceptionClass, 1)
+			} else {
+				blameEqually(cr.ANRClasses, func(c javalang.Class, w float64) { add(m, c, w) })
+			}
+		case ManifestReboot:
+			// Equal split among the classes the component contributed to
+			// the escalation; a hang-only component with no trace blames
+			// the pseudo-class.
+			classes := make(map[javalang.Class]int)
+			for c := range cr.CrashRoots {
+				classes[c]++
+			}
+			for c := range cr.ANRClasses {
+				classes[c]++
+			}
+			if len(classes) == 0 {
+				add(m, NoExceptionClass, 1)
+			} else {
+				blameEqually(classes, func(c javalang.Class, w float64) { add(m, c, w) })
+			}
+		case ManifestNoEffect:
+			if len(cr.Caught) == 0 && len(cr.Rejected) == 0 {
+				add(m, NoExceptionClass, 1)
+			} else {
+				merged := make(map[javalang.Class]int)
+				for c := range cr.Caught {
+					merged[c]++
+				}
+				for c := range cr.Rejected {
+					merged[c]++
+				}
+				blameEqually(merged, func(c javalang.Class, w float64) { add(m, c, w) })
+			}
+		}
+	}
+	out := make(map[Manifestation][]BlameShare, len(acc))
+	for m, mm := range acc {
+		shares := make([]BlameShare, 0, len(mm))
+		var total float64
+		for _, w := range mm {
+			total += w
+		}
+		for c, w := range mm {
+			shares = append(shares, BlameShare{Class: c, Share: w / total})
+		}
+		sort.Slice(shares, func(i, j int) bool {
+			if shares[i].Share != shares[j].Share {
+				return shares[i].Share > shares[j].Share
+			}
+			return shares[i].Class < shares[j].Class
+		})
+		out[m] = shares
+	}
+	return out
+}
+
+// NoExceptionClass is the pseudo-class used in Fig. 3b's no-effect column
+// for components that never raised anything.
+const NoExceptionClass javalang.Class = "(no exception)"
+
+func blameEqually(m map[javalang.Class]int, add func(javalang.Class, float64)) {
+	if len(m) == 0 {
+		return
+	}
+	w := 1.0 / float64(len(m))
+	for c := range m {
+		add(c, w)
+	}
+}
+
+// CrashClassTotals counts crash events by root-cause class (Table IV's
+// #Crashes column: every (component, class) crash pair).
+func (r *Report) CrashClassTotals() []ClassCount {
+	m := make(map[javalang.Class]int)
+	for _, cr := range r.Components {
+		for c := range cr.CrashRoots {
+			m[c]++
+		}
+	}
+	return sortClassCounts(m)
+}
+
+// AppManifestations folds components into applications (by package) and
+// returns each app's most severe manifestation — Table III's unit of
+// reporting ("we classify the effect of the injection on an entire
+// application ... we use the most severe manifestation").
+func (r *Report) AppManifestations() map[string]Manifestation {
+	out := make(map[string]Manifestation)
+	for cn, cr := range r.Components {
+		m := cr.Manifestation()
+		if cur, ok := out[cn.Package]; !ok || m > cur {
+			out[cn.Package] = m
+		}
+	}
+	return out
+}
+
+// AppsWithCrash lists packages whose most severe manifestation is at least
+// a crash (Fig. 4's unit: apps that reported crashes).
+func (r *Report) AppsWithCrash() []string {
+	var out []string
+	for pkg, m := range r.AppManifestations() {
+		if m >= ManifestCrash {
+			out = append(out, pkg)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CrashRootsByPackage merges crash root-cause classes per package (Fig. 4
+// groups crash exceptions by app classification).
+func (r *Report) CrashRootsByPackage() map[string]map[javalang.Class]int {
+	out := make(map[string]map[javalang.Class]int)
+	for cn, cr := range r.Components {
+		if len(cr.CrashRoots) == 0 {
+			continue
+		}
+		m, ok := out[cn.Package]
+		if !ok {
+			m = make(map[javalang.Class]int)
+			out[cn.Package] = m
+		}
+		for c, n := range cr.CrashRoots {
+			m[c] += n
+		}
+	}
+	return out
+}
+
+// Merge folds other into r (used to combine per-campaign reports into the
+// study-wide figures). Component reports are merged field-wise.
+func (r *Report) Merge(other *Report) {
+	for cn, ocr := range other.Components {
+		cr := r.component(cn)
+		if cr.Type == "" {
+			cr.Type = ocr.Type
+		}
+		cr.Deliveries += ocr.Deliveries
+		cr.Security += ocr.Security
+		cr.ANRs += ocr.ANRs
+		cr.RebootInvolved = cr.RebootInvolved || ocr.RebootInvolved
+		for c, n := range ocr.Rejected {
+			cr.Rejected[c] += n
+		}
+		for c, n := range ocr.Caught {
+			cr.Caught[c] += n
+		}
+		for c, n := range ocr.CrashRoots {
+			cr.CrashRoots[c] += n
+		}
+		for c, n := range ocr.ANRClasses {
+			cr.ANRClasses[c] += n
+		}
+	}
+	r.RebootTimes = append(r.RebootTimes, other.RebootTimes...)
+	r.CoreServiceDeaths = append(r.CoreServiceDeaths, other.CoreServiceDeaths...)
+	r.CrashEvents += other.CrashEvents
+	r.ANREvents += other.ANREvents
+	r.SecurityEvents += other.SecurityEvents
+	r.Entries += other.Entries
+}
+
+// ComponentNames returns the components in deterministic order.
+func (r *Report) ComponentNames() []intent.ComponentName {
+	out := make([]intent.ComponentName, 0, len(r.Components))
+	for cn := range r.Components {
+		out = append(out, cn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

@@ -1,0 +1,336 @@
+package apps
+
+import (
+	"time"
+
+	"repro/internal/javalang"
+)
+
+// This file concentrates every tunable constant of the synthetic behaviour
+// models. Each constant encodes a specific quantitative statement from the
+// paper; the comment cites it. The calibration is validated end-to-end by
+// the experiment tests (internal/experiments) which run the calibration-
+// blind pipeline and compare the measured tables/figures against the
+// paper's values within tolerance bands.
+
+// classWeights is a discrete distribution over exception classes.
+type classWeights struct {
+	classes []javalang.Class
+	weights []float64
+}
+
+// populationParams parameterizes one app population's validation quality.
+type populationParams struct {
+	// appCrashyFrac: fraction of apps in the population that crash at all
+	// (quota-sampled so the fraction is exact). Fig. 4: built-in apps
+	// reported crashes at 64%, third-party apps at 46%.
+	appCrashyFrac float64
+	// crashKindProb[k]: for a component of a crashy app, the probability
+	// that defect kind k escapes as an *uncaught* exception (crash). FIC A
+	// (mismatch) is solved separately from B/C/D kinds so that per-campaign
+	// app-crash rates land near Table III's ~23-33%.
+	crashKindProb map[DefectKind]float64
+	// rejectKindProb: probability a component validates kind k and throws
+	// the exception back to the sender (no crash). Drives the large
+	// non-crashing IllegalArgumentException population in Fig. 2.
+	rejectKindProb float64
+	// catchKindProb: probability the component catches its own exception
+	// for kind k (Fig. 3b "no effect": ~10% of cases threw an exception
+	// that was handled gracefully).
+	catchKindProb float64
+	// crashMix / rejectMix / catchMix: per-defect-kind exception class
+	// distributions.
+	crashMix  map[DefectKind]classWeights
+	rejectMix map[DefectKind]classWeights
+}
+
+// --- Wear fleet calibration -------------------------------------------------
+
+// Table III targets per-campaign app-crash rates of roughly 23-33%. With
+// quota-crashy apps (64% built-in, 46% third-party) a crashy app must crash
+// in ~60% of campaigns. Built-in apps average ~43 components, third-party
+// ~12.6, which yields the per-(component, kind) probabilities below
+// (1-(1-q)^(n*kinds) = 0.6).
+var wearBuiltInParams = populationParams{
+	appCrashyFrac: 0.64, // Fig. 4
+	crashKindProb: map[DefectKind]float64{
+		KindMismatch:      0.021, // campaign A: 1 kind over ~43 comps
+		KindMissingAction: 0.011, // campaign B: 2 kinds
+		KindMissingData:   0.011,
+		KindRandomAction:  0.011, // campaign C: 2 kinds
+		KindRandomData:    0.011,
+		KindRandomExtras:  0.011, // campaign D: 2 kinds
+		KindNullExtra:     0.011,
+	},
+	rejectKindProb: 0.020, // Fig. 2: ~13% of components show a reject class
+	catchKindProb:  0.014, // Fig. 3b no-effect: ~10% handled exceptions
+	crashMix:       wearCrashMix,
+	rejectMix:      wearRejectMix,
+}
+
+// Third-party parameters are split by app category to land Table III's
+// per-campaign rows: the paper's health apps crash most in campaigns B/C
+// (~31%) and least in D (15%), while the other apps sit at ~30% in A/C/D.
+var wearHealthThirdPartyParams = populationParams{
+	appCrashyFrac: 0.46, // Fig. 4
+	crashKindProb: map[DefectKind]float64{
+		KindMismatch:      0.042, // campaign A: 23%
+		KindMissingAction: 0.022, // campaign B: 31%
+		KindMissingData:   0.022,
+		KindRandomAction:  0.036, // campaign C: 31%
+		KindRandomData:    0.036,
+		KindRandomExtras:  0.015, // campaign D: 15%
+		KindNullExtra:     0.015,
+	},
+	rejectKindProb: 0.020,
+	catchKindProb:  0.014,
+	crashMix:       wearCrashMix,
+	rejectMix:      wearRejectMix,
+}
+
+var wearThirdPartyParams = populationParams{
+	appCrashyFrac: 0.46, // Fig. 4
+	crashKindProb: map[DefectKind]float64{
+		KindMismatch:      0.120, // campaign A: 30%
+		KindMissingAction: 0.036, // campaign B: 24%
+		KindMissingData:   0.036,
+		KindRandomAction:  0.068, // campaign C: 33%
+		KindRandomData:    0.068,
+		KindRandomExtras:  0.050, // campaign D: 30%
+		KindNullExtra:     0.050,
+	},
+	rejectKindProb: 0.020,
+	catchKindProb:  0.014,
+	crashMix:       wearCrashMix,
+	rejectMix:      wearRejectMix,
+}
+
+// wearCrashMix encodes Fig. 3b's crash column: NullPointerException still
+// dominates "but the relative proportion is less" than prior Android
+// studies, with the decrease taken up by IllegalArgumentException and
+// IllegalStateException (Section IV-A).
+var wearCrashMix = map[DefectKind]classWeights{
+	KindMismatch: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassIllegalState, javalang.ClassNullPointer, javalang.ClassUnsupportedOperation, javalang.ClassRuntime},
+		weights: []float64{0.40, 0.28, 0.18, 0.09, 0.05},
+	},
+	KindMissingAction: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalState, javalang.ClassIllegalArgument, javalang.ClassRuntime},
+		weights: []float64{0.45, 0.28, 0.18, 0.09},
+	},
+	KindMissingData: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalArgument, javalang.ClassIllegalState, javalang.ClassActivityNotFound},
+		weights: []float64{0.52, 0.24, 0.17, 0.07},
+	},
+	KindRandomAction: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassUnsupportedOperation, javalang.ClassActivityNotFound, javalang.ClassIllegalState, javalang.ClassClassNotFound},
+		weights: []float64{0.33, 0.19, 0.16, 0.17, 0.15},
+	},
+	KindRandomData: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassNullPointer, javalang.ClassNumberFormat, javalang.ClassIllegalState, javalang.ClassStringIndex},
+		weights: []float64{0.34, 0.27, 0.15, 0.14, 0.10},
+	},
+	KindRandomExtras: {
+		classes: []javalang.Class{javalang.ClassClassCast, javalang.ClassIllegalState, javalang.ClassBadParcelable, javalang.ClassNullPointer, javalang.ClassIllegalArgument},
+		weights: []float64{0.28, 0.26, 0.18, 0.16, 0.12},
+	},
+	KindNullExtra: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalState, javalang.ClassIllegalArgument},
+		weights: []float64{0.76, 0.13, 0.11},
+	},
+}
+
+// wearRejectMix: Fig. 2 — "After SecurityException, the second largest
+// share belongs to IllegalArgumentException ... raised because of the
+// mismatch on the data contained in an injected intent and what is expected
+// by the component."
+var wearRejectMix = map[DefectKind]classWeights{
+	KindMismatch: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassIllegalState, javalang.ClassUnsupportedOperation},
+		weights: []float64{0.62, 0.24, 0.14},
+	},
+	KindMissingAction: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassNullPointer, javalang.ClassIllegalState},
+		weights: []float64{0.48, 0.30, 0.22},
+	},
+	KindMissingData: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassNullPointer, javalang.ClassIllegalState},
+		weights: []float64{0.50, 0.31, 0.19},
+	},
+	KindRandomAction: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassUnsupportedOperation, javalang.ClassClassNotFound},
+		weights: []float64{0.55, 0.25, 0.20},
+	},
+	KindRandomData: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassNumberFormat, javalang.ClassNullPointer},
+		weights: []float64{0.58, 0.22, 0.20},
+	},
+	KindRandomExtras: {
+		classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassClassCast, javalang.ClassBadParcelable},
+		weights: []float64{0.46, 0.30, 0.24},
+	},
+	KindNullExtra: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalArgument},
+		weights: []float64{0.70, 0.30},
+	},
+}
+
+// --- Phone fleet calibration -------------------------------------------------
+
+// Table IV: 175 crashes over 63 apps / 813 components (21.5% of
+// components), with NPE 30.9%, ClassNotFound 26.3%, IllegalArgument 17.7%,
+// IllegalState 5.7%, Runtime 5.1%, ActivityNotFound 4.0%,
+// UnsupportedOperation 3.4%, others 6.9%. ClassNotFoundException is far
+// more common on the phone than on the watch — phone apps load classes
+// reflectively from intent payloads much more often.
+var phoneParams = populationParams{
+	appCrashyFrac: 1.0, // the phone table aggregates over all apps
+	crashKindProb: map[DefectKind]float64{
+		KindMismatch:      0.072,
+		KindMissingAction: 0.035,
+		KindMissingData:   0.035,
+		KindRandomAction:  0.046,
+		KindRandomData:    0.035,
+		KindRandomExtras:  0.035,
+		KindNullExtra:     0.035,
+	},
+	rejectKindProb: 0.020,
+	catchKindProb:  0.014,
+	crashMix:       phoneCrashMix,
+	rejectMix:      wearRejectMix,
+}
+
+var phoneCrashMix = map[DefectKind]classWeights{
+	KindMismatch: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassClassNotFound, javalang.ClassIllegalArgument, javalang.ClassIllegalState, javalang.ClassRuntime},
+		weights: []float64{0.30, 0.26, 0.23, 0.11, 0.10},
+	},
+	KindMissingAction: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassClassNotFound, javalang.ClassIllegalArgument, javalang.ClassRuntime},
+		weights: []float64{0.40, 0.25, 0.20, 0.15},
+	},
+	KindMissingData: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassClassNotFound, javalang.ClassIllegalArgument, javalang.ClassActivityNotFound},
+		weights: []float64{0.42, 0.22, 0.20, 0.16},
+	},
+	KindRandomAction: {
+		classes: []javalang.Class{javalang.ClassClassNotFound, javalang.ClassUnsupportedOperation, javalang.ClassIllegalArgument, javalang.ClassNullPointer, javalang.ClassActivityNotFound},
+		weights: []float64{0.38, 0.22, 0.15, 0.13, 0.12},
+	},
+	KindRandomData: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalArgument, javalang.ClassClassNotFound, javalang.ClassNumberFormat},
+		weights: []float64{0.32, 0.27, 0.25, 0.16},
+	},
+	KindRandomExtras: {
+		classes: []javalang.Class{javalang.ClassClassNotFound, javalang.ClassNullPointer, javalang.ClassRuntime, javalang.ClassIllegalArgument, javalang.ClassClassCast},
+		weights: []float64{0.28, 0.26, 0.18, 0.15, 0.13},
+	},
+	KindNullExtra: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassRuntime, javalang.ClassIllegalState},
+		weights: []float64{0.68, 0.17, 0.15},
+	},
+}
+
+// --- QGJ-UI (emulator) calibration -------------------------------------------
+
+// Table V: 41,405 injected events per mode. Semi-valid: 1,496 exceptions
+// (3.6%) and 22 crashes (0.05%). Random: 615 exceptions (1.5%) and 0
+// crashes. QGJ-UI only reaches launcher activities, which "are also simpler
+// and therefore tend to be more reliable" (Section IV-D), so launcher
+// handlers use small per-delivery probabilities rather than deterministic
+// per-kind reactions. The probabilities below are conditioned on the event
+// actually reaching a component (an `am` event); input/key/motion events
+// are absorbed by the adb utilities' sanitization.
+const (
+	// uiIntentExceptionProbSemiValid: P(exception | am event, semi-valid
+	// mutation). With ~30% of Monkey events carrying intents this lands at
+	// ~3.6% of all events.
+	uiIntentExceptionProbSemiValid = 0.270
+	// uiIntentCrashProbSemiValid: P(crash | am event, semi-valid). 22 of
+	// 41,405 events = 0.053%; conditioned on the intent share that is
+	// ~0.18%.
+	uiIntentCrashProbSemiValid = 0.0135
+	// uiIntentExceptionProbRandom: random mutations mostly die in input
+	// sanitization before reaching a component; the rest raise fewer
+	// exceptions (1.5% of all events) and all are handled.
+	uiIntentExceptionProbRandom = 0.092
+)
+
+// uiExceptionMix is the class mix for launcher-activity exceptions during
+// UI fuzzing (all handled; Section IV-D reports zero system crashes).
+var uiExceptionMix = classWeights{
+	classes: []javalang.Class{javalang.ClassIllegalArgument, javalang.ClassIllegalState, javalang.ClassNullPointer, javalang.ClassActivityNotFound},
+	weights: []float64{0.40, 0.25, 0.20, 0.15},
+}
+
+// uiCrashMix is the class mix for the rare launcher crashes (semi-valid
+// mode only).
+var uiCrashMix = classWeights{
+	classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalState, javalang.ClassIllegalArgument},
+	weights: []float64{0.45, 0.30, 0.25},
+}
+
+// --- Scenario constants -------------------------------------------------------
+
+const (
+	// scenarioHangBusy is how long a wedged handler occupies the main
+	// looper; anything over the 5 s ANR threshold works.
+	scenarioHangBusy = 12 * time.Second
+)
+
+// --- Legacy (JJB-era) calibration ---------------------------------------------
+
+// The paper repeatedly contrasts its findings against the original
+// JarJarBinks study (Maji et al., DSN 2012) on Android 2.x, "where
+// NullPointerExceptions contributed to 46% of all exceptions" (Section
+// IV-E) — the baseline for the claim that input validation improved over
+// the years. legacyPhoneParams models that era: a much higher crash
+// incidence and an NPE-dominated mix, used by the ablation study and the
+// historical-comparison bench.
+var legacyPhoneParams = populationParams{
+	appCrashyFrac: 1.0,
+	crashKindProb: map[DefectKind]float64{
+		KindMismatch:      0.135,
+		KindMissingAction: 0.070,
+		KindMissingData:   0.070,
+		KindRandomAction:  0.080,
+		KindRandomData:    0.070,
+		KindRandomExtras:  0.070,
+		KindNullExtra:     0.070,
+	},
+	rejectKindProb: 0.012, // weaker framework-side validation back then
+	catchKindProb:  0.008,
+	crashMix:       legacyCrashMix,
+	rejectMix:      wearRejectMix,
+}
+
+var legacyCrashMix = map[DefectKind]classWeights{
+	KindMismatch: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassIllegalArgument, javalang.ClassRuntime, javalang.ClassIllegalState},
+		weights: []float64{0.50, 0.22, 0.16, 0.12},
+	},
+	KindMissingAction: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassRuntime, javalang.ClassIllegalArgument},
+		weights: []float64{0.58, 0.24, 0.18},
+	},
+	KindMissingData: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassRuntime, javalang.ClassIllegalArgument},
+		weights: []float64{0.60, 0.22, 0.18},
+	},
+	KindRandomAction: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassClassNotFound, javalang.ClassIllegalArgument, javalang.ClassRuntime},
+		weights: []float64{0.35, 0.28, 0.20, 0.17},
+	},
+	KindRandomData: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassNumberFormat, javalang.ClassIllegalArgument},
+		weights: []float64{0.48, 0.28, 0.24},
+	},
+	KindRandomExtras: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassClassCast, javalang.ClassRuntime},
+		weights: []float64{0.42, 0.32, 0.26},
+	},
+	KindNullExtra: {
+		classes: []javalang.Class{javalang.ClassNullPointer, javalang.ClassRuntime},
+		weights: []float64{0.85, 0.15},
+	},
+}

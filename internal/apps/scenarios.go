@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"repro/internal/intent"
+	"repro/internal/javalang"
+	"repro/internal/manifest"
+	"repro/internal/wearos"
+)
+
+// applyWearScenarios overrides sampled behaviour for the specific incidents
+// the paper narrates. These are deterministic, named failure modes — not
+// statistical calibration — and each maps to a sentence in Section IV.
+//
+// Every scenario reaction is *gated* to particular intent contents: the
+// paper's escalations fired "at specific states of the device", not on
+// every malformed intent of a kind, and ungated reactions would fire
+// thousands of times per campaign sweep.
+func (f *Fleet) applyWearScenarios() {
+	f.scenarioSensorReboot()
+	f.scenarioAmbientReboot()
+	f.scenarioGoogleFitCrash()
+	f.scenarioGridViewPagerArithmetic()
+	f.scenarioFitifyHangs()
+}
+
+// override replaces (or installs) one reaction entry on a component.
+func (f *Fleet) override(cn intent.ComponentName, kind DefectKind, r reaction) {
+	b := f.behaviors[cn]
+	if b == nil {
+		return
+	}
+	b.reactions[kind] = r
+}
+
+// scrubCrashes removes every sampled crash reaction from all of a
+// package's components, so the scenario apps' failure stories stay exactly
+// as narrated (and reboot attribution stays surgical).
+func (f *Fleet) scrubCrashes(pkg string) {
+	p := f.Package(pkg)
+	if p == nil {
+		return
+	}
+	for _, c := range p.Components {
+		b := f.behaviors[c.Name]
+		if b == nil {
+			continue
+		}
+		for k, r := range b.reactions {
+			if r.kind == reactCrash || r.kind == reactHang {
+				delete(b.reactions, k)
+			}
+		}
+	}
+}
+
+// ensureReachable strips export/permission guards from a scenario
+// component: the paper's incidents all involved components QGJ could
+// actually reach, and the population sampler may have guarded this slot.
+func (f *Fleet) ensureReachable(cn intent.ComponentName) {
+	p := f.Package(cn.Package)
+	if p == nil {
+		return
+	}
+	for _, c := range p.Components {
+		if c.Name == cn {
+			c.Exported = true
+			c.Permission = ""
+			return
+		}
+	}
+}
+
+// nthComponent returns the package's i-th component of the given type, or
+// a zero name when out of range.
+func (f *Fleet) nthComponent(pkg string, t manifest.ComponentType, i int) intent.ComponentName {
+	p := f.Package(pkg)
+	if p == nil {
+		return intent.ComponentName{}
+	}
+	comps := p.ComponentsOf(t)
+	if i >= len(comps) {
+		return intent.ComponentName{}
+	}
+	return comps[i].Name
+}
+
+// scenarioSensorReboot wires the paper's first reboot post-mortem
+// (Section IV-B): a health app that talks to the heart-rate sensor through
+// SensorManager goes unresponsive under a sequence of malformed intents;
+// the system SIGABRTs the SensorService process; losing that core service
+// reboots the watch. "There were no exceptions raised before the crash."
+//
+// Three Moto Body services each hang on exactly one semi-valid combination
+// (fitness TRACK action paired with a scheme it does not accept), so
+// campaign A produces exactly three ANRs in the process — the system
+// server's SIGABRT limit.
+func (f *Fleet) scenarioSensorReboot() {
+	const pkg = "com.motorola.omni"
+	f.scrubCrashes(pkg)
+	schemes := []string{"http", "tel", "geo"}
+	for i, scheme := range schemes {
+		cn := f.nthComponent(pkg, manifest.Service, i)
+		if cn.IsZero() {
+			continue
+		}
+		f.ensureReachable(cn)
+		f.override(cn, KindMismatch, reaction{
+			kind:        reactHang,
+			busy:        scenarioHangBusy,
+			onlyActions: []string{"vnd.google.fitness.TRACK"},
+			onlyScheme:  scheme,
+		})
+		f.traits[cn] = wearos.ComponentTraits{UsesSensorManager: true}
+	}
+}
+
+// scenarioAmbientReboot wires the second post-mortem: a built-in app
+// component repeatedly fails to start on malformed intents, cannot bind
+// the Ambient Service, and the system process segfaults.
+//
+// One Clock activity crashes with an NPE on FIC D's poisoned extras, but
+// only for two adjacent catalog actions — six consecutive intents in the
+// campaign D sweep, enough for the start-failure streak (4) to trip the
+// SIGSEGV exactly once; after the reboot the remaining two intents cannot
+// re-trip it.
+func (f *Fleet) scenarioAmbientReboot() {
+	const pkg = "com.google.android.deskclock"
+	f.scrubCrashes(pkg)
+	cn := f.nthComponent(pkg, manifest.Activity, 1)
+	if cn.IsZero() {
+		return
+	}
+	f.ensureReachable(cn)
+	gate := []string{"android.intent.action.VIEW", "android.intent.action.EDIT"}
+	crash := reaction{kind: reactCrash, class: javalang.ClassNullPointer, onlyActions: gate}
+	f.override(cn, KindRandomExtras, crash)
+	f.override(cn, KindNullExtra, crash)
+	f.traits[cn] = wearos.ComponentTraits{AmbientBound: true}
+}
+
+// scenarioGoogleFitCrash reproduces the concrete crash the paper quotes:
+// Google Fit crashed on an ALL_APPS-style intent sent without the expected
+// complication-provider payload — an IllegalArgumentException that should
+// have been handled.
+func (f *Fleet) scenarioGoogleFitCrash() {
+	const pkg = "com.google.android.apps.fitness"
+	cn := f.nthComponent(pkg, manifest.Activity, 2)
+	if cn.IsZero() {
+		return
+	}
+	f.ensureReachable(cn)
+	f.override(cn, KindMissingData, reaction{
+		kind:        reactCrash,
+		class:       javalang.ClassIllegalArgument,
+		onlyActions: []string{"android.intent.action.ALL_APPS"},
+	})
+	// One semi-valid combination also trips the same unvalidated path.
+	f.override(cn, KindMismatch, reaction{
+		kind:        reactCrash,
+		class:       javalang.ClassIllegalArgument,
+		onlyActions: []string{"android.intent.action.ALL_APPS"},
+		onlyScheme:  "tel",
+	})
+}
+
+// scenarioGridViewPagerArithmetic reproduces the deprecated-widget crash:
+// a Health & Fitness app still using the AW 1.x GridViewPager layout class
+// crashes with a divide-by-zero ArithmeticException.
+func (f *Fleet) scenarioGridViewPagerArithmetic() {
+	const pkg = "com.heartwatch.wear"
+	cn := f.nthComponent(pkg, manifest.Activity, 0)
+	if cn.IsZero() {
+		return
+	}
+	f.ensureReachable(cn)
+	// VIEW accepts most schemes; sms is one it does not, so (VIEW, sms) is
+	// a genuine semi-valid mismatch that campaign A generates exactly once
+	// per sweep of this component.
+	f.override(cn, KindMismatch, reaction{
+		kind:        reactCrash,
+		class:       javalang.ClassArithmetic,
+		onlyActions: []string{"android.intent.action.VIEW"},
+		onlyScheme:  "sms",
+	})
+}
+
+// scenarioFitifyHangs places the remaining unresponsive components in a
+// second health app so Table III shows a hanging health app in campaigns
+// A, C and D without any reboot (no SensorManager, so no SIGABRT
+// escalation), and Fig. 3b's unresponsive column is dominated by
+// IllegalStateException with android.os.DeadObjectException present.
+func (f *Fleet) scenarioFitifyHangs() {
+	const pkg = "com.fitify.workouts.wear"
+	f.scrubCrashes(pkg)
+	hangs := []struct {
+		typ    manifest.ComponentType
+		idx    int
+		kinds  []DefectKind
+		class  javalang.Class
+		action string
+		scheme string
+	}{
+		// Campaign C (random action, valid data): gate on the valid scheme.
+		{manifest.Service, 0, []DefectKind{KindRandomAction}, javalang.ClassIllegalState, "", "tel"},
+		{manifest.Service, 1, []DefectKind{KindRandomAction}, javalang.ClassIllegalState, "", "geo"},
+		// Campaign D (poisoned extras): gate on one action each. Both extras
+		// kinds trigger — whether the bundle's poison is a null or a junk
+		// key, the component's getExtra path wedges the same way.
+		{manifest.Service, 2, []DefectKind{KindNullExtra, KindRandomExtras}, javalang.ClassIllegalState, "android.intent.action.SEARCH", ""},
+		{manifest.Service, 3, []DefectKind{KindNullExtra, KindRandomExtras}, javalang.ClassDeadObject, "android.intent.action.ASSIST", ""},
+		// Campaign A (mismatch): gate on one combo each.
+		{manifest.Service, 4, []DefectKind{KindMismatch}, javalang.ClassIllegalState, "android.intent.action.DIAL", "geo"},
+		{manifest.Activity, 1, []DefectKind{KindMismatch}, javalang.ClassDeadObject, "android.intent.action.SENDTO", "http"},
+	}
+	for _, h := range hangs {
+		cn := f.nthComponent(pkg, h.typ, h.idx)
+		if cn.IsZero() {
+			continue
+		}
+		f.ensureReachable(cn)
+		r := reaction{kind: reactHang, busy: scenarioHangBusy, class: h.class, onlyScheme: h.scheme}
+		if h.action != "" {
+			r.onlyActions = []string{h.action}
+		}
+		for _, k := range h.kinds {
+			f.override(cn, k, r)
+		}
+		// Fitify does not touch SensorManager; its ANRs age the system but
+		// never shoot sensorservice.
+		f.traits[cn] = wearos.ComponentTraits{}
+	}
+}

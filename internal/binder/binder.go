@@ -1,0 +1,132 @@
+// Package binder provides a compact model of Android's Binder IPC layer:
+// named endpoints owned by processes, synchronous transactions, and death
+// notification. Two observations in the paper depend on Binder semantics —
+// android.os.DeadObjectException appearing among the exceptions behind
+// unresponsive components ("garbage collection can have the undesirable
+// effect"), and the Ambient Service bind failure in the second reboot
+// post-mortem.
+package binder
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/javalang"
+)
+
+// Handler processes one transaction and returns a reply or a Throwable.
+type Handler func(code int, data any) (reply any, thr *javalang.Throwable)
+
+// Endpoint is a published Binder object.
+type Endpoint struct {
+	Name     string
+	OwnerPID int
+	handler  Handler
+}
+
+// Router is the Binder driver: it maps endpoint names to live endpoints and
+// delivers transactions. A Router belongs to one device.
+type Router struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	alive     map[int]bool // PID liveness, maintained by the process table
+	deathSubs map[string][]func()
+	// txCount counts delivered transactions, for stats/benchmarks.
+	txCount uint64
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{
+		endpoints: make(map[string]*Endpoint),
+		alive:     make(map[int]bool),
+		deathSubs: make(map[string][]func()),
+	}
+}
+
+// Publish registers an endpoint under name, owned by ownerPID. Publishing an
+// existing name replaces the endpoint (the owner restarted).
+func (r *Router) Publish(name string, ownerPID int, h Handler) *Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := &Endpoint{Name: name, OwnerPID: ownerPID, handler: h}
+	r.endpoints[name] = ep
+	r.alive[ownerPID] = true
+	return ep
+}
+
+// Unpublish removes the endpoint.
+func (r *Router) Unpublish(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.endpoints, name)
+}
+
+// SetAlive updates PID liveness; the process table calls this on process
+// start and death. Killing a PID fires death notifications for every
+// endpoint it owns.
+func (r *Router) SetAlive(pid int, alive bool) {
+	r.mu.Lock()
+	r.alive[pid] = alive
+	var toNotify []func()
+	if !alive {
+		for name, ep := range r.endpoints {
+			if ep.OwnerPID == pid {
+				toNotify = append(toNotify, r.deathSubs[name]...)
+				delete(r.deathSubs, name)
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, fn := range toNotify {
+		fn()
+	}
+}
+
+// LinkToDeath registers fn to run when the endpoint's owner dies. Unknown
+// endpoints return an error immediately (mirror of Binder's behaviour).
+func (r *Router) LinkToDeath(name string, fn func()) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.endpoints[name]; !ok {
+		return fmt.Errorf("binder: no endpoint %q", name)
+	}
+	r.deathSubs[name] = append(r.deathSubs[name], fn)
+	return nil
+}
+
+// Transact delivers a synchronous transaction to the named endpoint.
+// Transactions against unknown endpoints or dead owners fail with
+// DeadObjectException, exactly the error apps observe when a remote process
+// was reclaimed.
+func (r *Router) Transact(name string, code int, data any) (any, *javalang.Throwable) {
+	r.mu.Lock()
+	ep, ok := r.endpoints[name]
+	var ownerAlive bool
+	if ok {
+		ownerAlive = r.alive[ep.OwnerPID]
+	}
+	r.txCount++
+	r.mu.Unlock()
+	if !ok || !ownerAlive {
+		return nil, javalang.Newf(javalang.ClassDeadObject,
+			"Transaction failed on small parcel; remote process %q probably died", name)
+	}
+	return ep.handler(code, data)
+}
+
+// Lookup reports whether name is published with a live owner.
+func (r *Router) Lookup(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep, ok := r.endpoints[name]
+	return ok && r.alive[ep.OwnerPID]
+}
+
+// TxCount returns the number of transactions delivered (including failed
+// ones).
+func (r *Router) TxCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.txCount
+}

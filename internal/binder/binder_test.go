@@ -1,0 +1,121 @@
+package binder
+
+import (
+	"testing"
+
+	"repro/internal/javalang"
+)
+
+func echoHandler(code int, data any) (any, *javalang.Throwable) {
+	return data, nil
+}
+
+func TestTransactSuccess(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.echo", 100, echoHandler)
+	reply, thr := r.Transact("svc.echo", 1, "hello")
+	if thr != nil {
+		t.Fatalf("Transact error: %v", thr)
+	}
+	if reply != "hello" {
+		t.Fatalf("reply = %v", reply)
+	}
+	if r.TxCount() != 1 {
+		t.Fatalf("TxCount = %d", r.TxCount())
+	}
+}
+
+func TestTransactUnknownEndpoint(t *testing.T) {
+	r := NewRouter()
+	_, thr := r.Transact("svc.missing", 1, nil)
+	if thr == nil || thr.Class != javalang.ClassDeadObject {
+		t.Fatalf("expected DeadObjectException, got %v", thr)
+	}
+}
+
+func TestTransactDeadOwner(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.echo", 100, echoHandler)
+	r.SetAlive(100, false)
+	_, thr := r.Transact("svc.echo", 1, nil)
+	if thr == nil || thr.Class != javalang.ClassDeadObject {
+		t.Fatalf("expected DeadObjectException, got %v", thr)
+	}
+	if r.Lookup("svc.echo") {
+		t.Fatal("Lookup true for dead owner")
+	}
+}
+
+func TestHandlerThrowablePropagates(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.bad", 100, func(code int, data any) (any, *javalang.Throwable) {
+		return nil, javalang.New(javalang.ClassIllegalState, "not ready")
+	})
+	_, thr := r.Transact("svc.bad", 1, nil)
+	if thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("got %v", thr)
+	}
+}
+
+func TestDeathNotification(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.x", 7, echoHandler)
+	died := 0
+	if err := r.LinkToDeath("svc.x", func() { died++ }); err != nil {
+		t.Fatal(err)
+	}
+	r.SetAlive(7, false)
+	if died != 1 {
+		t.Fatalf("death callbacks = %d, want 1", died)
+	}
+	// Death subscriptions are one-shot: reviving and re-killing does not
+	// re-fire old callbacks.
+	r.SetAlive(7, true)
+	r.SetAlive(7, false)
+	if died != 1 {
+		t.Fatalf("death callbacks after revive/kill = %d, want 1", died)
+	}
+}
+
+func TestLinkToDeathUnknownEndpoint(t *testing.T) {
+	r := NewRouter()
+	if err := r.LinkToDeath("nope", func() {}); err == nil {
+		t.Fatal("LinkToDeath on unknown endpoint succeeded")
+	}
+}
+
+func TestRepublishReplacesEndpoint(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.x", 1, func(int, any) (any, *javalang.Throwable) { return "old", nil })
+	r.Publish("svc.x", 2, func(int, any) (any, *javalang.Throwable) { return "new", nil })
+	reply, thr := r.Transact("svc.x", 0, nil)
+	if thr != nil || reply != "new" {
+		t.Fatalf("reply = %v thr = %v", reply, thr)
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.x", 1, echoHandler)
+	r.Unpublish("svc.x")
+	if r.Lookup("svc.x") {
+		t.Fatal("endpoint survives Unpublish")
+	}
+	_, thr := r.Transact("svc.x", 0, nil)
+	if thr == nil {
+		t.Fatal("Transact on unpublished endpoint succeeded")
+	}
+}
+
+func TestDeathOnlyFiresForOwnedEndpoints(t *testing.T) {
+	r := NewRouter()
+	r.Publish("svc.a", 1, echoHandler)
+	r.Publish("svc.b", 2, echoHandler)
+	var fired []string
+	_ = r.LinkToDeath("svc.a", func() { fired = append(fired, "a") })
+	_ = r.LinkToDeath("svc.b", func() { fired = append(fired, "b") })
+	r.SetAlive(2, false)
+	if len(fired) != 1 || fired[0] != "b" {
+		t.Fatalf("fired = %v, want [b]", fired)
+	}
+}

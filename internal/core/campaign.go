@@ -1,0 +1,291 @@
+// Package core implements QGJ itself — the paper's primary contribution:
+// the generational intent fuzzer (QGJ-Master) with its four Fuzz Intent
+// Campaigns, the shared Fuzzer library that injects intents on the target
+// device, and the phone↔watch orchestration over the Wear MessageAPI.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/intent"
+	"repro/internal/rng"
+)
+
+// Campaign identifies one of the four Fuzz Intent Campaigns of Table I.
+type Campaign int
+
+const (
+	// CampaignA "Semi-valid Action and Data": valid action and valid data
+	// URI generated separately; the combination may be invalid.
+	// |Action| x |TypeOf(Data)| intents per component (~1M overall).
+	CampaignA Campaign = iota + 1
+	// CampaignB "Blank Action or Data": either action OR data is set, all
+	// other fields blank. |Action| + |TypeOf(Data)| per component (~100K).
+	CampaignB
+	// CampaignC "Random Action or Data": one side valid, the other random.
+	// (|Action| + |TypeOf(Data)|) x variants per component (~300K).
+	CampaignC
+	// CampaignD "Random Extras": a valid {Action, Data} pair plus 1-5 Extra
+	// fields with random values. |Action| x variants per component (~250K).
+	CampaignD
+)
+
+// AllCampaigns lists the campaigns in execution order ("All 4 campaigns are
+// executed one after another", Section III-D).
+var AllCampaigns = []Campaign{CampaignA, CampaignB, CampaignC, CampaignD}
+
+// Name returns the Table I row label.
+func (c Campaign) Name() string {
+	switch c {
+	case CampaignA:
+		return "A: Semi-valid Action and Data"
+	case CampaignB:
+		return "B: Blank Action or Data"
+	case CampaignC:
+		return "C: Random Action or Data"
+	case CampaignD:
+		return "D: Random Extras"
+	default:
+		return "unknown"
+	}
+}
+
+// Letter returns the single-letter campaign id.
+func (c Campaign) Letter() string {
+	switch c {
+	case CampaignA:
+		return "A"
+	case CampaignB:
+		return "B"
+	case CampaignC:
+		return "C"
+	case CampaignD:
+		return "D"
+	default:
+		return "?"
+	}
+}
+
+// ParseCampaign converts a letter ("A".."D", case-insensitive) to a
+// Campaign.
+func ParseCampaign(s string) (Campaign, error) {
+	switch s {
+	case "A", "a":
+		return CampaignA, nil
+	case "B", "b":
+		return CampaignB, nil
+	case "C", "c":
+		return CampaignC, nil
+	case "D", "d":
+		return CampaignD, nil
+	default:
+		return 0, fmt.Errorf("core: unknown campaign %q", s)
+	}
+}
+
+// GeneratorConfig scales and seeds intent generation. The zero value means
+// "full paper scale"; tests shrink ActionStride/SchemeStride to run fast.
+type GeneratorConfig struct {
+	// Seed drives random actions, data, and extras.
+	Seed uint64
+	// ActionStride takes every k-th action from the catalog (1 or 0 = all).
+	ActionStride int
+	// SchemeStride takes every k-th data scheme (1 or 0 = all).
+	SchemeStride int
+	// RandomVariants is how many random variants FIC C generates per
+	// catalog entry (default 3; chosen so the per-campaign volume matches
+	// Table I's ~300K).
+	RandomVariants int
+	// ExtrasVariants is how many extras sets FIC D generates per action
+	// (default 3; ~250K overall in Table I).
+	ExtrasVariants int
+}
+
+func (cfg GeneratorConfig) normalized() GeneratorConfig {
+	if cfg.ActionStride < 1 {
+		cfg.ActionStride = 1
+	}
+	if cfg.SchemeStride < 1 {
+		cfg.SchemeStride = 1
+	}
+	if cfg.RandomVariants < 1 {
+		cfg.RandomVariants = 3
+	}
+	if cfg.ExtrasVariants < 1 {
+		cfg.ExtrasVariants = 3
+	}
+	return cfg
+}
+
+func (cfg GeneratorConfig) actions() []string {
+	out := make([]string, 0, len(intent.Actions)/cfg.ActionStride+1)
+	for i := 0; i < len(intent.Actions); i += cfg.ActionStride {
+		out = append(out, intent.Actions[i])
+	}
+	return out
+}
+
+func (cfg GeneratorConfig) schemes() []string {
+	out := make([]string, 0, len(intent.Schemes)/cfg.SchemeStride+1)
+	for i := 0; i < len(intent.Schemes); i += cfg.SchemeStride {
+		out = append(out, intent.Schemes[i])
+	}
+	return out
+}
+
+// CountPerComponent predicts how many intents the campaign generates for
+// one component under cfg — the |Action| x |TypeOf(Data)| arithmetic of
+// Table I.
+func (c Campaign) CountPerComponent(cfg GeneratorConfig) int {
+	cfg = cfg.normalized()
+	nA, nS := len(cfg.actions()), len(cfg.schemes())
+	switch c {
+	case CampaignA:
+		return nA * nS
+	case CampaignB:
+		return nA + nS
+	case CampaignC:
+		return (nA + nS) * cfg.RandomVariants
+	case CampaignD:
+		return nA * cfg.ExtrasVariants
+	default:
+		return 0
+	}
+}
+
+// fuzzExtraKeys are the random-looking keys FIC D attaches; none fall in a
+// namespace a component expects.
+var fuzzExtraKeys = []string{
+	"fuzzKey", "qgj.extra", "payload", "random_field", "x", "data1",
+	"extra_junk", "blob", "argv", "opt",
+}
+
+// Generate streams the campaign's intents for one target component into
+// emit, in deterministic order. senderUID stamps the intents with QGJ's
+// (unprivileged) identity.
+func (c Campaign) Generate(target intent.ComponentName, cfg GeneratorConfig, senderUID int, emit func(*intent.Intent)) {
+	cfg = cfg.normalized()
+	r := rng.New(cfg.Seed).Split("campaign-" + c.Letter() + "-" + target.FlattenToString())
+	actions := cfg.actions()
+	schemes := cfg.schemes()
+
+	base := func() *intent.Intent {
+		return &intent.Intent{Component: target, SenderUID: senderUID}
+	}
+
+	switch c {
+	case CampaignA:
+		// Cartesian product of valid actions and valid data; many pairs are
+		// semantically incompatible — exactly the defect FIC A probes.
+		for _, a := range actions {
+			for _, s := range schemes {
+				in := base()
+				in.Action = a
+				in.Data = intent.SampleData(s)
+				emit(in)
+			}
+		}
+	case CampaignB:
+		// Action XOR data; everything else blank.
+		for _, a := range actions {
+			in := base()
+			in.Action = a
+			emit(in)
+		}
+		for _, s := range schemes {
+			in := base()
+			in.Data = intent.SampleData(s)
+			emit(in)
+		}
+	case CampaignC:
+		// Valid action with random data, then random action with valid
+		// data, RandomVariants times each.
+		for _, a := range actions {
+			for v := 0; v < cfg.RandomVariants; v++ {
+				in := base()
+				in.Action = a
+				in.Data = randomURI(r)
+				emit(in)
+			}
+		}
+		for _, s := range schemes {
+			for v := 0; v < cfg.RandomVariants; v++ {
+				in := base()
+				in.Action = randomAction(r)
+				in.Data = intent.SampleData(s)
+				emit(in)
+			}
+		}
+	case CampaignD:
+		// Valid {Action, Data} pair plus 1-5 random extras.
+		for _, a := range actions {
+			for v := 0; v < cfg.ExtrasVariants; v++ {
+				in := base()
+				in.Action = a
+				if s, ok := validSchemeFor(a, schemes); ok {
+					in.Data = intent.SampleData(s)
+				}
+				nExtras := r.IntBetween(1, 5)
+				for e := 0; e < nExtras; e++ {
+					key := fmt.Sprintf("%s%d", rng.Pick(r, fuzzExtraKeys), e)
+					in.PutExtra(key, randomExtraValue(r))
+				}
+				emit(in)
+			}
+		}
+	}
+}
+
+// randomAction fabricates a non-catalog action string like the paper's
+// 'S0me.r@ndom.$trinG'.
+func randomAction(r *rng.Source) string {
+	return r.ASCII(4, 10) + "." + r.ASCII(3, 8) + "." + r.ASCII(3, 12)
+}
+
+// randomURI fabricates a syntactically parseable URI with a non-catalog
+// scheme.
+func randomURI(r *rng.Source) intent.URI {
+	scheme := randomSchemeToken(r)
+	return intent.URI{Scheme: scheme, Opaque: r.ASCII(1, 16)}
+}
+
+func randomSchemeToken(r *rng.Source) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	n := r.IntBetween(2, 8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	// Keep regenerating shouldn't be needed: a random 2-8 letter token
+	// colliding with one of the 12 catalog schemes is rare and harmless
+	// (the intent simply counts as semi-valid for that delivery).
+	return string(b)
+}
+
+// validSchemeFor picks a scheme the action legitimately accepts, preferring
+// the catalog order for determinism. ok is false for data-less actions.
+func validSchemeFor(action string, schemes []string) (string, bool) {
+	for _, s := range schemes {
+		if intent.ActionAcceptsScheme(action, s) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// randomExtraValue draws a random typed extra; roughly a quarter are
+// explicit nulls, the classic NPE trigger.
+func randomExtraValue(r *rng.Source) intent.Value {
+	switch r.Intn(8) {
+	case 0, 1:
+		return intent.NullValue()
+	case 2, 3, 4:
+		return intent.StringValue(r.ASCII(1, 24))
+	case 5:
+		return intent.IntValue(int64(r.Uint64()))
+	case 6:
+		return intent.FloatValue(r.NormFloat64() * 1e4)
+	default:
+		return intent.BoolValue(r.Bool(0.5))
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/intent"
+)
+
+var target = intent.ComponentName{Package: "com.x", Class: "com.x.ui.Main"}
+
+func collect(c Campaign, cfg GeneratorConfig) []*intent.Intent {
+	var out []*intent.Intent
+	c.Generate(target, cfg, QGJUID, func(in *intent.Intent) { out = append(out, in) })
+	return out
+}
+
+func TestCountPerComponentMatchesTableI(t *testing.T) {
+	cfg := GeneratorConfig{}
+	nA, nS := len(intent.Actions), len(intent.Schemes)
+	tests := []struct {
+		c    Campaign
+		want int
+	}{
+		{CampaignA, nA * nS},
+		{CampaignB, nA + nS},
+		{CampaignC, (nA + nS) * 3},
+		{CampaignD, nA * 3},
+	}
+	for _, tt := range tests {
+		if got := tt.c.CountPerComponent(cfg); got != tt.want {
+			t.Errorf("%s count = %d, want %d", tt.c.Name(), got, tt.want)
+		}
+		// Prediction must match actual generation.
+		if got := len(collect(tt.c, cfg)); got != tt.want {
+			t.Errorf("%s generated %d, predicted %d", tt.c.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestCampaignAShape(t *testing.T) {
+	ins := collect(CampaignA, GeneratorConfig{ActionStride: 10, SchemeStride: 3})
+	for _, in := range ins {
+		if in.Action == "" || in.Data.IsZero() {
+			t.Fatalf("FIC A intent missing action or data: %v", in)
+		}
+		if !intent.KnownAction(in.Action) {
+			t.Fatalf("FIC A action not from catalog: %q", in.Action)
+		}
+		if !intent.KnownScheme(in.Data.Scheme) {
+			t.Fatalf("FIC A scheme not from catalog: %q", in.Data.Scheme)
+		}
+		if in.Component != target {
+			t.Fatal("FIC A intent lost its explicit component")
+		}
+		if in.Extras.Len() != 0 {
+			t.Fatal("FIC A intent has extras")
+		}
+	}
+	// The cartesian product must include semantically invalid combinations.
+	mismatches := 0
+	for _, in := range ins {
+		if !intent.ActionAcceptsScheme(in.Action, in.Data.Scheme) {
+			mismatches++
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("FIC A produced no invalid combinations")
+	}
+}
+
+func TestCampaignBShape(t *testing.T) {
+	ins := collect(CampaignB, GeneratorConfig{})
+	actionOnly, dataOnly := 0, 0
+	for _, in := range ins {
+		hasAction, hasData := in.Action != "", !in.Data.IsZero()
+		switch {
+		case hasAction && !hasData:
+			actionOnly++
+		case !hasAction && hasData:
+			dataOnly++
+		default:
+			t.Fatalf("FIC B intent has both or neither: %v", in)
+		}
+		if in.Extras.Len() != 0 || in.Type != "" || len(in.Categories) != 0 {
+			t.Fatalf("FIC B intent has non-blank optional fields: %v", in)
+		}
+	}
+	if actionOnly != len(intent.Actions) || dataOnly != len(intent.Schemes) {
+		t.Fatalf("FIC B split = %d/%d, want %d/%d",
+			actionOnly, dataOnly, len(intent.Actions), len(intent.Schemes))
+	}
+}
+
+func TestCampaignCShape(t *testing.T) {
+	ins := collect(CampaignC, GeneratorConfig{ActionStride: 5, RandomVariants: 2})
+	randData, randAction := 0, 0
+	for _, in := range ins {
+		validAction := intent.KnownAction(in.Action)
+		validData := !in.Data.IsZero() && intent.KnownScheme(in.Data.Scheme)
+		switch {
+		case validAction && !validData:
+			randData++
+		case !validAction && validData:
+			randAction++
+		default:
+			t.Fatalf("FIC C intent not exactly half-random: act=%q dat=%q", in.Action, in.Data.String())
+		}
+	}
+	if randData == 0 || randAction == 0 {
+		t.Fatalf("FIC C missing a side: randData=%d randAction=%d", randData, randAction)
+	}
+}
+
+func TestCampaignDShape(t *testing.T) {
+	ins := collect(CampaignD, GeneratorConfig{ActionStride: 4})
+	sawNull := false
+	for _, in := range ins {
+		if !intent.KnownAction(in.Action) {
+			t.Fatalf("FIC D action invalid: %q", in.Action)
+		}
+		n := in.Extras.Len()
+		if n < 1 || n > 5 {
+			t.Fatalf("FIC D intent has %d extras, want 1-5", n)
+		}
+		// The {Action, Data} pair must be valid: either a compatible scheme
+		// or no data for data-less actions.
+		if !in.Data.IsZero() && !intent.ActionAcceptsScheme(in.Action, in.Data.Scheme) {
+			t.Fatalf("FIC D pair invalid: %q + %q", in.Action, in.Data.String())
+		}
+		if in.Data.IsZero() && intent.ActionExpectsData(in.Action) {
+			t.Fatalf("FIC D dropped data for %q", in.Action)
+		}
+		if in.Extras.HasNull() {
+			sawNull = true
+		}
+	}
+	if !sawNull {
+		t.Fatal("FIC D never produced a null extra")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 99, ActionStride: 7}
+	a := collect(CampaignC, cfg)
+	b := collect(CampaignC, cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("intent %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	// Different seeds change the random parts.
+	c := collect(CampaignC, GeneratorConfig{Seed: 100, ActionStride: 7})
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical FIC C streams")
+	}
+}
+
+func TestFullScaleTotalsNearPaper(t *testing.T) {
+	// Table I: A ~1M, B ~100K, C ~300K, D ~250K over ~912 components.
+	const comps = 912
+	cfg := GeneratorConfig{}
+	totals := map[Campaign]int{}
+	for _, c := range AllCampaigns {
+		totals[c] = c.CountPerComponent(cfg) * comps
+	}
+	within := func(got, want int, tol float64) bool {
+		diff := float64(got - want)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= tol*float64(want)
+	}
+	if !within(totals[CampaignA], 1_000_000, 0.25) {
+		t.Errorf("campaign A total = %d, want ~1M", totals[CampaignA])
+	}
+	if !within(totals[CampaignB], 100_000, 0.25) {
+		t.Errorf("campaign B total = %d, want ~100K", totals[CampaignB])
+	}
+	if !within(totals[CampaignC], 300_000, 0.25) {
+		t.Errorf("campaign C total = %d, want ~300K", totals[CampaignC])
+	}
+	if !within(totals[CampaignD], 250_000, 0.30) {
+		t.Errorf("campaign D total = %d, want ~250K", totals[CampaignD])
+	}
+	grand := totals[CampaignA] + totals[CampaignB] + totals[CampaignC] + totals[CampaignD]
+	if grand < 1_300_000 || grand > 2_000_000 {
+		t.Errorf("grand total = %d, want ~1.5M", grand)
+	}
+}
+
+func TestParseCampaign(t *testing.T) {
+	for _, s := range []string{"A", "b", "C", "d"} {
+		if _, err := ParseCampaign(s); err != nil {
+			t.Errorf("ParseCampaign(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseCampaign("E"); err == nil {
+		t.Error("ParseCampaign(E) succeeded")
+	}
+}
+
+func TestCampaignNames(t *testing.T) {
+	if CampaignA.Name() != "A: Semi-valid Action and Data" {
+		t.Errorf("A name = %q", CampaignA.Name())
+	}
+	letters := map[Campaign]string{CampaignA: "A", CampaignB: "B", CampaignC: "C", CampaignD: "D"}
+	for c, l := range letters {
+		if c.Letter() != l {
+			t.Errorf("%v letter = %q", c, c.Letter())
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/wearos"
+)
+
+// QGJUID is the (unprivileged) UID the QGJ Wear app runs under; the tool
+// deliberately needs no root or system privileges (Section III-A).
+const QGJUID = wearos.UIDAppBase + 100
+
+// Pacing constants from Section III-D: "we insert two delays: (a) 100 ms
+// between successive intents similar to JJB; and (b) 250 ms after every 100
+// intents. It was empirically determined ... that these delays were
+// required to ensure the device is not overloaded."
+const (
+	InterIntentDelay = 100 * time.Millisecond
+	BatchPause       = 250 * time.Millisecond
+	BatchSize        = 100
+)
+
+// Injector is the Fuzzer library: it generates campaign intents and injects
+// them into components on the target device, pacing the device's virtual
+// clock the way the real tool paces wall-clock time.
+type Injector struct {
+	Dev *wearos.OS
+	Cfg GeneratorConfig
+	// SenderUID defaults to QGJUID when zero.
+	SenderUID int
+	// Progress, when non-nil, receives a callback after every injection
+	// (UI feedback in the QGJ apps; cheap counters in the experiments).
+	Progress func(sent int)
+}
+
+// ComponentRun summarizes the injections against one component.
+type ComponentRun struct {
+	Component intent.ComponentName
+	Type      manifest.ComponentType
+	Campaign  Campaign
+	Sent      int
+	Results   map[wearos.DeliveryResult]int
+}
+
+// Rebooted reports whether any injection in this run rebooted the device.
+func (cr ComponentRun) Rebooted() bool { return cr.Results[wearos.DeviceRebooted] > 0 }
+
+// AppRun summarizes one campaign against one application.
+type AppRun struct {
+	Package    string
+	Campaign   Campaign
+	Sent       int
+	Components []ComponentRun
+}
+
+// Results aggregates delivery results over all components.
+func (ar AppRun) Results() map[wearos.DeliveryResult]int {
+	out := make(map[wearos.DeliveryResult]int, 8)
+	for _, cr := range ar.Components {
+		for k, v := range cr.Results {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+func (inj *Injector) uid() int {
+	if inj.SenderUID != 0 {
+		return inj.SenderUID
+	}
+	return QGJUID
+}
+
+// FuzzComponent runs one campaign against one component.
+func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) ComponentRun {
+	run := ComponentRun{
+		Component: comp.Name,
+		Type:      comp.Type,
+		Campaign:  c,
+		Results:   make(map[wearos.DeliveryResult]int, 8),
+	}
+	clock := inj.Dev.Clock()
+	c.Generate(comp.Name, inj.Cfg, inj.uid(), func(in *intent.Intent) {
+		var res wearos.DeliveryResult
+		if comp.Type == manifest.Service {
+			res = inj.Dev.StartService(in)
+		} else {
+			res = inj.Dev.StartActivity(in)
+		}
+		run.Results[res]++
+		run.Sent++
+		clock.Advance(InterIntentDelay)
+		if run.Sent%BatchSize == 0 {
+			clock.Advance(BatchPause)
+		}
+		if inj.Progress != nil {
+			inj.Progress(run.Sent)
+		}
+	})
+	return run
+}
+
+// FuzzApp runs one campaign against every Activity and Service of the
+// package, in manifest order — the granularity at which the paper's
+// workflow operates ("we choose a particular wearable application ... and
+// begin the experiments").
+func (inj *Injector) FuzzApp(c Campaign, pkg *manifest.Package) AppRun {
+	run := AppRun{Package: pkg.Name, Campaign: c}
+	for _, comp := range pkg.Components {
+		if comp.Type != manifest.Activity && comp.Type != manifest.Service {
+			continue
+		}
+		cr := inj.FuzzComponent(c, comp)
+		run.Sent += cr.Sent
+		run.Components = append(run.Components, cr)
+	}
+	return run
+}
+
+// FuzzAppAllCampaigns executes all four campaigns back to back against one
+// app ("All 4 campaigns are executed one after another", Section III-D).
+func (inj *Injector) FuzzAppAllCampaigns(pkg *manifest.Package) []AppRun {
+	out := make([]AppRun, 0, len(AllCampaigns))
+	for _, c := range AllCampaigns {
+		out = append(out, inj.FuzzApp(c, pkg))
+	}
+	return out
+}
+
+// Summary is the compact result view the QGJ Wear app sends back to the
+// phone over the MessageAPI.
+type Summary struct {
+	Package   string `json:"package"`
+	Campaign  string `json:"campaign"`
+	Sent      int    `json:"sent"`
+	NoEffect  int    `json:"noEffect"`
+	Handled   int    `json:"handled"`
+	Rejected  int    `json:"rejected"`
+	Crashes   int    `json:"crashes"`
+	ANRs      int    `json:"anrs"`
+	Security  int    `json:"security"`
+	NotFound  int    `json:"notFound"`
+	Reboots   int    `json:"reboots"`
+	BootCount int    `json:"bootCount"`
+}
+
+// Summarize converts an AppRun into the wire summary.
+func Summarize(ar AppRun, bootCount int) Summary {
+	res := ar.Results()
+	return Summary{
+		Package:   ar.Package,
+		Campaign:  ar.Campaign.Letter(),
+		Sent:      ar.Sent,
+		NoEffect:  res[wearos.DeliveredNoEffect],
+		Handled:   res[wearos.DeliveredHandledException],
+		Rejected:  res[wearos.DeliveredRejected],
+		Crashes:   res[wearos.DeliveredCrash],
+		ANRs:      res[wearos.DeliveredANR],
+		Security:  res[wearos.BlockedSecurity],
+		NotFound:  res[wearos.BlockedNotFound],
+		Reboots:   res[wearos.DeviceRebooted],
+		BootCount: bootCount,
+	}
+}
+
+// String renders the summary for the QGJ Mobile UI.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"%s campaign %s: sent=%d noEffect=%d handled=%d rejected=%d crash=%d anr=%d security=%d notFound=%d reboot=%d",
+		s.Package, s.Campaign, s.Sent, s.NoEffect, s.Handled, s.Rejected,
+		s.Crashes, s.ANRs, s.Security, s.NotFound, s.Reboots)
+}

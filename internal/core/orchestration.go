@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/manifest"
+)
+
+// MessageAPI paths used by the QGJ pair (Figure 1a's workflow: the phone
+// retrieves the wearable's component list (1), sends the chosen target and
+// campaign over the MessageAPI (2), the wear app forwards to the Fuzzer
+// library (3), which injects intents into the target (4)).
+const (
+	PathListComponents = "/qgj/components"
+	PathStartFuzz      = "/qgj/start"
+)
+
+// ComponentInfo is the wire form of one fuzzable component.
+type ComponentInfo struct {
+	Package  string `json:"package"`
+	Class    string `json:"class"`
+	Type     string `json:"type"` // "activity" or "service"
+	Exported bool   `json:"exported"`
+}
+
+// listReply is the reply to PathListComponents.
+type listReply struct {
+	Components []ComponentInfo `json:"components"`
+}
+
+// startRequest asks the wearable to fuzz one app with one campaign.
+type startRequest struct {
+	Package  string `json:"package"`
+	Campaign string `json:"campaign"`
+	Seed     uint64 `json:"seed"`
+	// Strides scale the run (0 = full scale).
+	ActionStride   int `json:"actionStride"`
+	SchemeStride   int `json:"schemeStride"`
+	RandomVariants int `json:"randomVariants"`
+	ExtrasVariants int `json:"extrasVariants"`
+}
+
+// startReply carries the per-app summary back to the phone.
+type startReply struct {
+	Summary Summary `json:"summary"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// WearApp is QGJ Wear: the watch-side application. It registers MessageAPI
+// handlers and runs the Fuzzer library locally on request.
+type WearApp struct {
+	dev *device.Device
+}
+
+// InstallWearApp installs QGJ Wear on the wearable.
+func InstallWearApp(dev *device.Device) *WearApp {
+	app := &WearApp{dev: dev}
+	dev.Node().Handle(PathListComponents, app.handleList)
+	dev.Node().Handle(PathStartFuzz, app.handleStart)
+	return app
+}
+
+func (w *WearApp) handleList(msg device.Message) (device.Message, error) {
+	var infos []ComponentInfo
+	for _, c := range w.dev.OS.Registry().AllComponents(manifest.Activity, manifest.Service) {
+		infos = append(infos, ComponentInfo{
+			Package:  c.Name.Package,
+			Class:    c.Name.Class,
+			Type:     c.Type.String(),
+			Exported: c.Exported,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Package != infos[j].Package {
+			return infos[i].Package < infos[j].Package
+		}
+		return infos[i].Class < infos[j].Class
+	})
+	return device.ReplyJSON(msg.Path, listReply{Components: infos})
+}
+
+func (w *WearApp) handleStart(msg device.Message) (device.Message, error) {
+	var req startRequest
+	if err := unmarshalJSON(msg.Payload, &req); err != nil {
+		return device.ReplyJSON(msg.Path, startReply{Error: err.Error()})
+	}
+	campaign, err := ParseCampaign(req.Campaign)
+	if err != nil {
+		return device.ReplyJSON(msg.Path, startReply{Error: err.Error()})
+	}
+	pkg := w.dev.OS.Registry().Package(req.Package)
+	if pkg == nil {
+		return device.ReplyJSON(msg.Path, startReply{
+			Error: fmt.Sprintf("package %q not installed on wearable", req.Package),
+		})
+	}
+	inj := &Injector{
+		Dev: w.dev.OS,
+		Cfg: GeneratorConfig{
+			Seed:           req.Seed,
+			ActionStride:   req.ActionStride,
+			SchemeStride:   req.SchemeStride,
+			RandomVariants: req.RandomVariants,
+			ExtrasVariants: req.ExtrasVariants,
+		},
+	}
+	run := inj.FuzzApp(campaign, pkg)
+	return device.ReplyJSON(msg.Path, startReply{
+		Summary: Summarize(run, w.dev.OS.BootCount()),
+	})
+}
+
+// MobileApp is QGJ Mobile: the phone-side application offering the UI to
+// pick a target and campaign, and showing the result summary.
+type MobileApp struct {
+	dev *device.Device
+}
+
+// InstallMobileApp installs QGJ Mobile on the phone.
+func InstallMobileApp(dev *device.Device) *MobileApp {
+	return &MobileApp{dev: dev}
+}
+
+// ListWearComponents retrieves the wearable's fuzzable components (step 1
+// of the workflow).
+func (m *MobileApp) ListWearComponents() ([]ComponentInfo, error) {
+	var reply listReply
+	if err := m.dev.Node().SendJSON(PathListComponents, struct{}{}, &reply); err != nil {
+		return nil, fmt.Errorf("list wear components: %w", err)
+	}
+	return reply.Components, nil
+}
+
+// StartFuzz orchestrates one campaign against one wearable app and returns
+// the summary the watch reports back (steps 2-4).
+func (m *MobileApp) StartFuzz(pkg string, campaign Campaign, gen GeneratorConfig) (Summary, error) {
+	req := startRequest{
+		Package:        pkg,
+		Campaign:       campaign.Letter(),
+		Seed:           gen.Seed,
+		ActionStride:   gen.ActionStride,
+		SchemeStride:   gen.SchemeStride,
+		RandomVariants: gen.RandomVariants,
+		ExtrasVariants: gen.ExtrasVariants,
+	}
+	var reply startReply
+	if err := m.dev.Node().SendJSON(PathStartFuzz, req, &reply); err != nil {
+		return Summary{}, fmt.Errorf("start fuzz: %w", err)
+	}
+	if reply.Error != "" {
+		return Summary{}, fmt.Errorf("wearable rejected fuzz request: %s", reply.Error)
+	}
+	return reply.Summary, nil
+}
+
+// unmarshalJSON is a tiny indirection so orchestration handlers return
+// structured errors instead of panicking on malformed payloads.
+func unmarshalJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+)
+
+// pairWithFleet boots a phone and a watch, installs a small wear fleet on
+// the watch, installs QGJ on both, and returns the phone-side handle.
+func pairWithFleet(t *testing.T) (*MobileApp, *device.Device) {
+	t.Helper()
+	phone := device.NewPhone("nexus4")
+	watch := device.NewWatch("moto360")
+	device.Pair(phone, watch)
+
+	fleet := apps.BuildWearFleet(1)
+	if err := fleet.InstallInto(watch.OS); err != nil {
+		t.Fatal(err)
+	}
+	InstallWearApp(watch)
+	return InstallMobileApp(phone), watch
+}
+
+func TestListWearComponents(t *testing.T) {
+	mobile, watch := pairWithFleet(t)
+	comps, err := mobile.ListWearComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(watch.OS.Registry().AllComponents())
+	if len(comps) != want {
+		t.Fatalf("listed %d components, watch has %d", len(comps), want)
+	}
+	// The list is sorted and carries both kinds.
+	sawActivity, sawService := false, false
+	for i := 1; i < len(comps); i++ {
+		if comps[i-1].Package > comps[i].Package {
+			t.Fatal("component list not sorted")
+		}
+	}
+	for _, c := range comps {
+		switch c.Type {
+		case "activity":
+			sawActivity = true
+		case "service":
+			sawService = true
+		}
+	}
+	if !sawActivity || !sawService {
+		t.Fatal("component list missing a kind")
+	}
+}
+
+func TestStartFuzzOverMessageAPI(t *testing.T) {
+	mobile, watch := pairWithFleet(t)
+	gen := GeneratorConfig{Seed: 1, ActionStride: 20, SchemeStride: 4}
+	sum, err := mobile.StartFuzz("com.strava.wear", CampaignB, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Package != "com.strava.wear" || sum.Campaign != "B" {
+		t.Fatalf("summary header = %+v", sum)
+	}
+	if sum.Sent == 0 {
+		t.Fatal("no intents sent")
+	}
+	// The watch's logcat carries the evidence of the run.
+	if !strings.Contains(watch.OS.Logcat().Dump(), "com.strava.wear") {
+		t.Fatal("watch log has no trace of the fuzzed app")
+	}
+}
+
+func TestStartFuzzUnknownPackage(t *testing.T) {
+	mobile, _ := pairWithFleet(t)
+	_, err := mobile.StartFuzz("com.not.installed", CampaignA, GeneratorConfig{})
+	if err == nil {
+		t.Fatal("fuzzing a missing package succeeded")
+	}
+	if !strings.Contains(err.Error(), "not installed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStartFuzzUnpairedPhone(t *testing.T) {
+	phone := device.NewPhone("lonely")
+	mobile := InstallMobileApp(phone)
+	if _, err := mobile.ListWearComponents(); err == nil {
+		t.Fatal("unpaired list succeeded")
+	}
+	if _, err := mobile.StartFuzz("x", CampaignA, GeneratorConfig{}); err == nil {
+		t.Fatal("unpaired fuzz succeeded")
+	}
+}
+
+func TestFullWorkflowAllCampaignsOneApp(t *testing.T) {
+	// The paper's workflow: pick an app from the phone, run all four
+	// campaigns one after another, read the summaries.
+	mobile, watch := pairWithFleet(t)
+	gen := GeneratorConfig{Seed: 3, ActionStride: 26, SchemeStride: 6, RandomVariants: 1, ExtrasVariants: 1}
+	var total int
+	for _, c := range AllCampaigns {
+		sum, err := mobile.StartFuzz("com.spotify.wear", c, gen)
+		if err != nil {
+			t.Fatalf("campaign %s: %v", c.Letter(), err)
+		}
+		total += sum.Sent
+		if sum.BootCount < 1 {
+			t.Fatalf("summary bootCount = %d", sum.BootCount)
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing sent across campaigns")
+	}
+	if watch.OS.BootCount() < 1 {
+		t.Fatal("watch lost its boot count")
+	}
+}

@@ -1,0 +1,139 @@
+// Package device assembles simulated hardware: a phone and a wearable
+// paired over a Bluetooth-like link, exchanging messages through the
+// Android Wear MessageAPI/DataAPI abstractions QGJ uses for orchestration
+// ("the Android phone communicates with the wearable using the AW
+// MessageAPI", Section III-A).
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/wearos"
+)
+
+// Device is one simulated unit: an OS plus its pairing endpoint.
+type Device struct {
+	Name string
+	OS   *wearos.OS
+
+	node *Node
+}
+
+// NewWatch boots a Moto 360-style wearable.
+func NewWatch(name string) *Device {
+	return newDevice(name, wearos.DefaultWatchConfig())
+}
+
+// NewPhone boots a Nexus-style phone.
+func NewPhone(name string) *Device {
+	return newDevice(name, wearos.DefaultPhoneConfig())
+}
+
+// NewEmulator boots the Android Watch emulator used by QGJ-UI.
+func NewEmulator(name string) *Device {
+	return newDevice(name, wearos.DefaultEmulatorConfig())
+}
+
+func newDevice(name string, cfg wearos.Config) *Device {
+	return &Device{Name: name, OS: wearos.New(cfg), node: NewNode(name)}
+}
+
+// Node returns the device's MessageAPI endpoint.
+func (d *Device) Node() *Node { return d.node }
+
+// Message is one MessageAPI datagram: a path plus an opaque payload.
+type Message struct {
+	Path    string
+	Payload []byte
+}
+
+// Handler serves one MessageAPI path and produces a reply.
+type Handler func(Message) (Message, error)
+
+// Node is one end of a pairing. Handlers are registered per path; Send
+// delivers to the peer's handler synchronously, like the blocking
+// MessageApi.sendMessage + response pattern QGJ uses.
+type Node struct {
+	name string
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	peer     *Node
+}
+
+// NewNode returns an unpaired node.
+func NewNode(name string) *Node {
+	return &Node{name: name, handlers: make(map[string]Handler)}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Handle registers a handler for path.
+func (n *Node) Handle(path string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[path] = h
+}
+
+// Pair links two nodes bidirectionally (Bluetooth bonding).
+func Pair(a, b *Device) {
+	a.node.mu.Lock()
+	a.node.peer = b.node
+	a.node.mu.Unlock()
+	b.node.mu.Lock()
+	b.node.peer = a.node
+	b.node.mu.Unlock()
+}
+
+// ErrNotPaired is returned when sending without a bonded peer.
+var ErrNotPaired = fmt.Errorf("device: not paired")
+
+// Send delivers a message to the peer node's handler for the path and
+// returns the reply.
+func (n *Node) Send(path string, payload []byte) (Message, error) {
+	n.mu.Lock()
+	peer := n.peer
+	n.mu.Unlock()
+	if peer == nil {
+		return Message{}, ErrNotPaired
+	}
+	peer.mu.Lock()
+	h, ok := peer.handlers[path]
+	peer.mu.Unlock()
+	if !ok {
+		return Message{}, fmt.Errorf("device: peer %s has no handler for %q", peer.name, path)
+	}
+	return h(Message{Path: path, Payload: payload})
+}
+
+// SendJSON marshals req, sends it, and unmarshals the reply into resp
+// (resp may be nil for fire-and-forget paths).
+func (n *Node) SendJSON(path string, req, resp any) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("marshal %s request: %w", path, err)
+	}
+	reply, err := n.Send(path, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(reply.Payload, resp); err != nil {
+		return fmt.Errorf("unmarshal %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// ReplyJSON is a helper for handlers that answer with a JSON value.
+func ReplyJSON(path string, v any) (Message, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return Message{}, fmt.Errorf("marshal %s reply: %w", path, err)
+	}
+	return Message{Path: path, Payload: payload}, nil
+}

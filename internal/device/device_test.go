@@ -1,0 +1,98 @@
+package device
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestPairAndSend(t *testing.T) {
+	phone := NewPhone("nexus4")
+	watch := NewWatch("moto360")
+	Pair(phone, watch)
+
+	watch.Node().Handle("/echo", func(m Message) (Message, error) {
+		return Message{Path: m.Path, Payload: append([]byte("pong:"), m.Payload...)}, nil
+	})
+	reply, err := phone.Node().Send("/echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != "pong:ping" {
+		t.Fatalf("reply = %q", reply.Payload)
+	}
+}
+
+func TestSendUnpaired(t *testing.T) {
+	phone := NewPhone("lonely")
+	_, err := phone.Node().Send("/x", nil)
+	if !errors.Is(err, ErrNotPaired) {
+		t.Fatalf("err = %v, want ErrNotPaired", err)
+	}
+}
+
+func TestSendUnknownPath(t *testing.T) {
+	a, b := NewPhone("a"), NewWatch("b")
+	Pair(a, b)
+	if _, err := a.Node().Send("/nope", nil); err == nil {
+		t.Fatal("send to unknown path succeeded")
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := NewPhone("a"), NewWatch("b")
+	Pair(a, b)
+	a.Node().Handle("/fromwatch", func(m Message) (Message, error) {
+		return Message{Payload: []byte("phone here")}, nil
+	})
+	reply, err := b.Node().Send("/fromwatch", nil)
+	if err != nil || string(reply.Payload) != "phone here" {
+		t.Fatalf("reply = %q err = %v", reply.Payload, err)
+	}
+}
+
+func TestSendJSONRoundTrip(t *testing.T) {
+	a, b := NewPhone("a"), NewWatch("b")
+	Pair(a, b)
+	type req struct {
+		N int `json:"n"`
+	}
+	type resp struct {
+		Sq int `json:"sq"`
+	}
+	b.Node().Handle("/square", func(m Message) (Message, error) {
+		var r req
+		if err := jsonUnmarshal(m.Payload, &r); err != nil {
+			return Message{}, err
+		}
+		return ReplyJSON("/square", resp{Sq: r.N * r.N})
+	})
+	var out resp
+	if err := a.Node().SendJSON("/square", req{N: 7}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sq != 49 {
+		t.Fatalf("square = %d", out.Sq)
+	}
+	// nil resp for fire-and-forget.
+	if err := a.Node().SendJSON("/square", req{N: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevicePresetsBoot(t *testing.T) {
+	for _, d := range []*Device{NewPhone("p"), NewWatch("w"), NewEmulator("e")} {
+		if d.OS == nil || d.OS.BootCount() != 1 {
+			t.Fatalf("device %s did not boot", d.Name)
+		}
+		if d.Node() == nil || d.Node().Name() != d.Name {
+			t.Fatalf("device %s node misconfigured", d.Name)
+		}
+	}
+}
+
+// jsonUnmarshal keeps the test readable without importing encoding/json at
+// every call site.
+func jsonUnmarshal(data []byte, v any) error {
+	return json.Unmarshal(data, v)
+}

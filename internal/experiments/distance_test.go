@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// paperTableIV is the published phone crash distribution (Table IV),
+// expressed as shares for distance comparison.
+var paperTableIV = stats.Dist{
+	"java.lang.NullPointerException":            0.309,
+	"java.lang.ClassNotFoundException":          0.263,
+	"java.lang.IllegalArgumentException":        0.177,
+	"java.lang.IllegalStateException":           0.057,
+	"java.lang.RuntimeException":                0.051,
+	"android.content.ActivityNotFoundException": 0.040,
+	"java.lang.UnsupportedOperationException":   0.034,
+	"(others)": 0.069,
+}
+
+// TestTableIVDistanceFromPaper summarizes the whole Table IV comparison in
+// two numbers: total variation distance from the published distribution
+// (≤ 0.15) and top-3 ordering agreement (= 1.0).
+func TestTableIVDistanceFromPaper(t *testing.T) {
+	sr := fullPhone(t)
+	rows, others, _ := TableIV(sr)
+	measured := stats.Dist{}
+	for _, r := range rows {
+		measured[string(r.Class)] = r.Share
+	}
+	measured["(others)"] = others.Share
+
+	if tv := stats.TotalVariation(paperTableIV, measured); tv > 0.15 {
+		t.Errorf("Table IV total variation from paper = %.3f, want <= 0.15", tv)
+	}
+	if agree := stats.TopKAgreement(paperTableIV, measured, 3); agree < 1 {
+		t.Errorf("Table IV top-3 agreement = %.2f, want 1.0 (NPE, CNFE, IAE lead)", agree)
+	}
+	if fr := stats.SpearmanFootrule(paperTableIV, measured); fr > 0.30 {
+		t.Errorf("Table IV rank displacement = %.3f, want <= 0.30", fr)
+	}
+}
+
+// paperFig3a is the manifestation split the paper describes (~90% no
+// effect, crash dominant, a handful of hangs, 4 reboot components of 912).
+var paperFig3a = stats.Dist{
+	"No Effect":    0.90,
+	"Crash":        0.085,
+	"Unresponsive": 0.010,
+	"Reboot":       0.005,
+}
+
+// TestFig3aDistanceFromPaper bounds the manifestation distribution's
+// distance from the paper's shape.
+func TestFig3aDistanceFromPaper(t *testing.T) {
+	sr := fullWear(t)
+	measured := stats.Dist{}
+	for m, n := range Fig3a(sr) {
+		measured[m.String()] = float64(n)
+	}
+	if tv := stats.TotalVariation(paperFig3a, measured); tv > 0.06 {
+		t.Errorf("Fig 3a total variation from paper = %.3f, want <= 0.06", tv)
+	}
+	// Severity ordering must match exactly: no-effect > crash >
+	// unresponsive >= reboot.
+	rank := stats.Ranking(measured)
+	if rank[0] != "No Effect" || rank[1] != "Crash" {
+		t.Errorf("Fig 3a ordering = %v", rank)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/apps"
+	"repro/internal/uifuzz"
+	"repro/internal/wearos"
+)
+
+// UIOptions configures the QGJ-UI experiment (Table V).
+type UIOptions struct {
+	Seed uint64
+	// Events per mode; 0 = the paper's 41,405.
+	Events int
+}
+
+// UIStudyResult is the outcome of both mutation modes.
+type UIStudyResult struct {
+	SemiValid uifuzz.Outcome
+	Random    uifuzz.Outcome
+}
+
+// RunUIStudy executes the QGJ-UI experiment on a fresh Android Watch
+// emulator carrying the built-in apps plus the top-20 third-party apps,
+// once per mutation mode (Section III-E).
+func RunUIStudy(opts UIOptions) (*UIStudyResult, error) {
+	res := &UIStudyResult{}
+	for _, mode := range []uifuzz.Mode{uifuzz.SemiValid, uifuzz.Random} {
+		// A fresh emulator per mode keeps runs independent and repeatable,
+		// the paper's stated reason for using the emulator at all.
+		fleet := apps.BuildEmulatorFleet(opts.Seed)
+		dev := wearos.New(wearos.DefaultEmulatorConfig())
+		if err := fleet.InstallInto(dev); err != nil {
+			return nil, err
+		}
+		f := uifuzz.New(dev)
+		out := f.Run(mode, uifuzz.Config{Seed: opts.Seed, Events: opts.Events})
+		switch mode {
+		case uifuzz.SemiValid:
+			res.SemiValid = out
+		case uifuzz.Random:
+			res.Random = out
+		}
+	}
+	return res, nil
+}
+
+// TableVRow is one row of Table V.
+type TableVRow struct {
+	Experiment     string
+	InjectedEvents int
+	Exceptions     int
+	ExceptionRate  float64
+	Crashes        int
+	CrashRate      float64
+}
+
+// TableV renders the study as Table V's rows.
+func TableV(res *UIStudyResult) []TableVRow {
+	row := func(o uifuzz.Outcome) TableVRow {
+		return TableVRow{
+			Experiment:     o.Mode.String(),
+			InjectedEvents: o.Injected,
+			Exceptions:     o.ExceptionsRaised,
+			ExceptionRate:  o.ExceptionRate(),
+			Crashes:        o.Crashes,
+			CrashRate:      o.CrashRate(),
+		}
+	}
+	return []TableVRow{row(res.SemiValid), row(res.Random)}
+}

@@ -1,0 +1,139 @@
+// Package gfit is the simulated Google Fit API facade. Most Health/Fitness
+// Wear apps reach sensors through Google Fit rather than SensorManager, so
+// the paper hypothesizes that health apps "are susceptible to propagation
+// errors from the Google Fit API" (Section III-C). This facade sits between
+// health apps and the sensor service, and can be configured to propagate
+// failures upward so the experiments can test that hypothesis.
+package gfit
+
+import (
+	"sync"
+
+	"repro/internal/javalang"
+	"repro/internal/logcat"
+	"repro/internal/sensors"
+)
+
+// Client is the per-app Google Fit handle.
+type Client struct {
+	mu      sync.Mutex
+	app     string
+	svc     *sensors.Service
+	log     *logcat.Logger
+	pid     int
+	session bool
+	// faultRate in [0,1] injects spurious internal errors, used by failure
+	// injection tests; 0 in normal operation.
+	faultRate float64
+	faultSeq  uint64
+}
+
+// NewClient returns a Google Fit client for the named app.
+func NewClient(app string, pid int, svc *sensors.Service, log *logcat.Logger) *Client {
+	return &Client{app: app, pid: pid, svc: svc, log: log}
+}
+
+// SetFaultRate configures the internal fault injection rate (deterministic:
+// every k-th call fails when faultRate = 1/k).
+func (c *Client) SetFaultRate(rate float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultRate = rate
+}
+
+func (c *Client) injectedFault() *javalang.Throwable {
+	if c.faultRate <= 0 {
+		return nil
+	}
+	c.faultSeq++
+	period := uint64(1 / c.faultRate)
+	if period == 0 {
+		period = 1
+	}
+	if c.faultSeq%period == 0 {
+		return javalang.New(javalang.ClassIllegalState,
+			"Fitness client disconnected; call connect() before requesting data")
+	}
+	return nil
+}
+
+// StartSession begins a recording session, registering the app for the
+// heart-rate and step sensors. Errors from the sensor layer propagate to
+// the caller — this is exactly the propagation path the paper probes.
+func (c *Client) StartSession() *javalang.Throwable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.session {
+		return javalang.New(javalang.ClassIllegalState, "session already started")
+	}
+	if thr := c.injectedFault(); thr != nil {
+		return thr
+	}
+	for _, t := range []sensors.Type{sensors.HeartRate, sensors.StepCounter} {
+		if thr := c.svc.Register("gfit:"+c.app, t); thr != nil {
+			c.log.Log(c.pid, c.pid, logcat.Warn, logcat.TagGoogleFit,
+				"startSession failed for %s: %s", c.app, thr.Error())
+			// Wrap the sensor failure the way the Fit client surfaces it.
+			return javalang.New(javalang.ClassRuntime,
+				"Fitness.SensorsApi error").WithCause(thr)
+		}
+	}
+	c.session = true
+	c.log.Log(c.pid, c.pid, logcat.Info, logcat.TagGoogleFit,
+		"recording session started for %s", c.app)
+	return nil
+}
+
+// StopSession ends the session.
+func (c *Client) StopSession() *javalang.Throwable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.session {
+		return javalang.New(javalang.ClassIllegalState, "no session in progress")
+	}
+	c.svc.Unregister("gfit:" + c.app)
+	c.session = false
+	return nil
+}
+
+// InSession reports whether a recording session is active.
+func (c *Client) InSession() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// ReadDailySteps returns the step total for the day. It requires an active
+// session and a live sensor service.
+func (c *Client) ReadDailySteps() (int, *javalang.Throwable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.session {
+		return 0, javalang.New(javalang.ClassIllegalState, "no session in progress")
+	}
+	if thr := c.injectedFault(); thr != nil {
+		return 0, thr
+	}
+	v, thr := c.svc.Read("gfit:"+c.app, sensors.StepCounter)
+	if thr != nil {
+		return 0, javalang.New(javalang.ClassRuntime, "Fitness.HistoryApi error").WithCause(thr)
+	}
+	return int(v), nil
+}
+
+// ReadHeartRate returns the current heart-rate sample.
+func (c *Client) ReadHeartRate() (float64, *javalang.Throwable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.session {
+		return 0, javalang.New(javalang.ClassIllegalState, "no session in progress")
+	}
+	if thr := c.injectedFault(); thr != nil {
+		return 0, thr
+	}
+	v, thr := c.svc.Read("gfit:"+c.app, sensors.HeartRate)
+	if thr != nil {
+		return 0, javalang.New(javalang.ClassRuntime, "Fitness.SensorsApi error").WithCause(thr)
+	}
+	return v, nil
+}

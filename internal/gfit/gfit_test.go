@@ -1,0 +1,120 @@
+package gfit
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/javalang"
+	"repro/internal/logcat"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+func newClient(t *testing.T) (*Client, *sensors.Service) {
+	t.Helper()
+	clk := vclock.NewVirtual(time.Time{})
+	buf := logcat.NewBuffer(256)
+	log := logcat.NewLogger(buf, clk.Now)
+	svc := sensors.NewService(1199, log)
+	return NewClient("com.fitwell.tracker", 2301, svc, log), svc
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	c, _ := newClient(t)
+	if c.InSession() {
+		t.Fatal("fresh client in session")
+	}
+	if thr := c.StartSession(); thr != nil {
+		t.Fatalf("start: %v", thr)
+	}
+	if !c.InSession() {
+		t.Fatal("not in session after start")
+	}
+	if thr := c.StartSession(); thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("double start: %v", thr)
+	}
+	if thr := c.StopSession(); thr != nil {
+		t.Fatalf("stop: %v", thr)
+	}
+	if thr := c.StopSession(); thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("double stop: %v", thr)
+	}
+}
+
+func TestReadsRequireSession(t *testing.T) {
+	c, _ := newClient(t)
+	if _, thr := c.ReadDailySteps(); thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("steps without session: %v", thr)
+	}
+	if _, thr := c.ReadHeartRate(); thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("heart rate without session: %v", thr)
+	}
+}
+
+func TestReadsInSession(t *testing.T) {
+	c, _ := newClient(t)
+	if thr := c.StartSession(); thr != nil {
+		t.Fatal(thr)
+	}
+	steps, thr := c.ReadDailySteps()
+	if thr != nil || steps <= 0 {
+		t.Fatalf("steps = %d, thr = %v", steps, thr)
+	}
+	hr, thr := c.ReadHeartRate()
+	if thr != nil || hr <= 0 {
+		t.Fatalf("hr = %v, thr = %v", hr, thr)
+	}
+}
+
+func TestSensorDeathPropagatesThroughFit(t *testing.T) {
+	c, svc := newClient(t)
+	if thr := c.StartSession(); thr != nil {
+		t.Fatal(thr)
+	}
+	svc.Abort(javalang.SIGABRT)
+	_, thr := c.ReadHeartRate()
+	if thr == nil {
+		t.Fatal("read through dead sensor service succeeded")
+	}
+	// The Fit facade wraps the sensor failure: outer RuntimeException,
+	// root cause DeadObjectException — the propagation chain the paper's
+	// health-app hypothesis is about.
+	if thr.Class != javalang.ClassRuntime {
+		t.Fatalf("outer class = %s", thr.Class)
+	}
+	if root := thr.Root(); root.Class != javalang.ClassDeadObject {
+		t.Fatalf("root cause = %s", root.Class)
+	}
+}
+
+func TestStartSessionFailsWhenSensorsDead(t *testing.T) {
+	c, svc := newClient(t)
+	svc.Abort(javalang.SIGABRT)
+	thr := c.StartSession()
+	if thr == nil || thr.Root().Class != javalang.ClassDeadObject {
+		t.Fatalf("start on dead sensors: %v", thr)
+	}
+	if c.InSession() {
+		t.Fatal("session recorded despite failure")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	c, _ := newClient(t)
+	if thr := c.StartSession(); thr != nil {
+		t.Fatal(thr)
+	}
+	c.SetFaultRate(0.5) // every 2nd call fails deterministically
+	var failures int
+	for i := 0; i < 10; i++ {
+		if _, thr := c.ReadDailySteps(); thr != nil {
+			failures++
+			if thr.Class != javalang.ClassIllegalState {
+				t.Fatalf("injected fault class = %s", thr.Class)
+			}
+		}
+	}
+	if failures != 5 {
+		t.Fatalf("failures = %d, want 5", failures)
+	}
+}

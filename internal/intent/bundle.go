@@ -1,0 +1,188 @@
+package intent
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types a Bundle entry can carry. The set mirrors
+// the extra types the `am` shell utility accepts (--es, --ei, --ef, --ez,
+// --el, --eu).
+type Kind int
+
+const (
+	KindString Kind = iota + 1
+	KindInt
+	KindLong
+	KindFloat
+	KindBool
+	KindURI
+	KindNull // an extra key explicitly mapped to null — a classic NPE trigger
+)
+
+// String returns the am-style flag mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindLong:
+		return "long"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "boolean"
+	case KindURI:
+		return "uri"
+	case KindNull:
+		return "null"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is a typed bundle value.
+type Value struct {
+	Kind Kind
+	Str  string
+	I64  int64
+	F64  float64
+	B    bool
+	URI  URI
+}
+
+// String renders the value the way Intent.toString would.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindInt, KindLong:
+		return strconv.FormatInt(v.I64, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F64, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	case KindURI:
+		return v.URI.String()
+	case KindNull:
+		return "null"
+	default:
+		return "?"
+	}
+}
+
+// Convenience constructors.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+func IntValue(i int64) Value     { return Value{Kind: KindInt, I64: i} }
+func LongValue(i int64) Value    { return Value{Kind: KindLong, I64: i} }
+func FloatValue(f float64) Value { return Value{Kind: KindFloat, F64: f} }
+func BoolValue(b bool) Value     { return Value{Kind: KindBool, B: b} }
+func URIValue(u URI) Value       { return Value{Kind: KindURI, URI: u} }
+func NullValue() Value           { return Value{Kind: KindNull} }
+
+// Bundle is an ordered set of typed key/value extras. Android's Bundle is a
+// string-keyed map; we keep insertion order so flattened intents are
+// reproducible.
+type Bundle struct {
+	keys   []string
+	values map[string]Value
+}
+
+// NewBundle returns an empty bundle.
+func NewBundle() *Bundle {
+	return &Bundle{values: make(map[string]Value)}
+}
+
+// Put inserts or replaces the value for key.
+func (b *Bundle) Put(key string, v Value) {
+	if b.values == nil {
+		b.values = make(map[string]Value)
+	}
+	if _, exists := b.values[key]; !exists {
+		b.keys = append(b.keys, key)
+	}
+	b.values[key] = v
+}
+
+// Get returns the value for key; ok is false when absent.
+func (b *Bundle) Get(key string) (Value, bool) {
+	if b == nil || b.values == nil {
+		return Value{}, false
+	}
+	v, ok := b.values[key]
+	return v, ok
+}
+
+// Len returns the number of extras.
+func (b *Bundle) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.keys)
+}
+
+// Keys returns the keys in insertion order (a copy).
+func (b *Bundle) Keys() []string {
+	if b == nil {
+		return nil
+	}
+	return append([]string(nil), b.keys...)
+}
+
+// HasNull reports whether any extra carries an explicit null value.
+func (b *Bundle) HasNull() bool {
+	if b == nil {
+		return false
+	}
+	for _, v := range b.values {
+		if v.Kind == KindNull {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the bundle.
+func (b *Bundle) Clone() *Bundle {
+	if b == nil {
+		return nil
+	}
+	out := &Bundle{
+		keys:   append([]string(nil), b.keys...),
+		values: make(map[string]Value, len(b.values)),
+	}
+	for k, v := range b.values {
+		out.values[k] = v
+	}
+	return out
+}
+
+// String renders the bundle content deterministically: insertion order for
+// human display, with kind annotations.
+func (b *Bundle) String() string {
+	if b.Len() == 0 {
+		return "Bundle[]"
+	}
+	var sb strings.Builder
+	sb.WriteString("Bundle[")
+	for i, k := range b.keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		v := b.values[k]
+		fmt.Fprintf(&sb, "%s=%s(%s)", k, v.String(), v.Kind)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// SortedKeys returns keys in lexicographic order; used by tests that compare
+// bundles structurally.
+func (b *Bundle) SortedKeys() []string {
+	ks := b.Keys()
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,81 @@
+package intent
+
+import (
+	"testing"
+)
+
+// Fuzz targets double as robustness tests: `go test` runs the seed corpus;
+// `go test -fuzz=FuzzParseURI ./internal/intent` explores further. The
+// invariants mirror android.net.Uri's contract: parsing never panics, and
+// anything that parses re-parses to the same value after String().
+
+func FuzzParseURI(f *testing.F) {
+	for _, seed := range []string{
+		"https://foo.com:8443/p?q=1#f",
+		"tel:123",
+		"mailto:user@foo.com",
+		"content://authority/path",
+		"file:///sdcard/x",
+		"market://details?id=x",
+		":",
+		"::",
+		"a:",
+		"A:B:C",
+		"1bad:x",
+		"spa ce:x",
+		"scheme+ext.1-2:opaque#frag",
+		"s:#",
+		"h://",
+		"h://host:port/path",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		u, ok := ParseURI(s)
+		if !ok {
+			return
+		}
+		if u.Scheme == "" {
+			t.Fatalf("ParseURI(%q) ok with empty scheme", s)
+		}
+		// Round-trip stability: String() must re-parse to the same URI.
+		s2 := u.String()
+		u2, ok2 := ParseURI(s2)
+		if !ok2 {
+			t.Fatalf("re-parse of %q (from %q) failed", s2, s)
+		}
+		if u != u2 {
+			t.Fatalf("round trip diverged: %q -> %+v -> %q -> %+v", s, u, s2, u2)
+		}
+	})
+}
+
+func FuzzUnflattenComponent(f *testing.F) {
+	for _, seed := range []string{
+		"com.foo/.Bar",
+		"com.foo/com.foo.Bar",
+		"a/b",
+		"/x",
+		"x/",
+		"",
+		"com.foo/.Bar/extra",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cn, ok := UnflattenComponent(s)
+		if !ok {
+			return
+		}
+		if cn.Package == "" || cn.Class == "" {
+			t.Fatalf("UnflattenComponent(%q) ok with empty fields: %+v", s, cn)
+		}
+		// Flatten/unflatten closes: the flattened form re-parses to the
+		// same component.
+		back, ok2 := UnflattenComponent(cn.FlattenToString())
+		if !ok2 || back != cn {
+			t.Fatalf("flatten round trip diverged: %q -> %+v -> %q -> %+v (%v)",
+				s, cn, cn.FlattenToString(), back, ok2)
+		}
+	})
+}

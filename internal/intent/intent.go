@@ -1,0 +1,198 @@
+package intent
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ComponentName identifies a concrete component (Activity or Service) the
+// way Android does: package plus class. QGJ fuzzes *explicit* intents, so
+// nearly every generated intent carries a ComponentName.
+type ComponentName struct {
+	Package string
+	Class   string
+}
+
+// IsZero reports whether the component name is unset (implicit intent).
+func (c ComponentName) IsZero() bool { return c.Package == "" && c.Class == "" }
+
+// FlattenToString renders pkg/class shorthand ("com.foo/.Bar" when the class
+// lives under the package namespace), the format `am start -n` accepts.
+func (c ComponentName) FlattenToString() string {
+	if c.IsZero() {
+		return ""
+	}
+	cls := c.Class
+	if strings.HasPrefix(cls, c.Package+".") {
+		cls = cls[len(c.Package):]
+	}
+	return c.Package + "/" + cls
+}
+
+// UnflattenComponent parses the pkg/class shorthand back into a
+// ComponentName. ok is false for malformed input.
+func UnflattenComponent(s string) (ComponentName, bool) {
+	pkg, cls, found := strings.Cut(s, "/")
+	if !found || pkg == "" || cls == "" {
+		return ComponentName{}, false
+	}
+	if strings.HasPrefix(cls, ".") {
+		cls = pkg + cls
+	}
+	return ComponentName{Package: pkg, Class: cls}, true
+}
+
+// String implements fmt.Stringer using the ComponentInfo format.
+func (c ComponentName) String() string {
+	if c.IsZero() {
+		return "ComponentInfo{}"
+	}
+	return fmt.Sprintf("ComponentInfo{%s/%s}", c.Package, c.Class)
+}
+
+// Intent is the Android intent data structure: an abstract description of an
+// operation to be performed (Section II-A).
+type Intent struct {
+	Action     string
+	Data       URI
+	Categories []string
+	Type       string // explicit MIME type
+	Component  ComponentName
+	Extras     *Bundle
+	Flags      uint32
+
+	// SenderUID is the UID of the process that sends the intent; the
+	// dispatcher uses it for permission checks. It is transport metadata,
+	// not part of the serialized intent.
+	SenderUID int
+}
+
+// Intent flags (subset).
+const (
+	FlagActivityNewTask     uint32 = 0x10000000
+	FlagActivityClearTop    uint32 = 0x04000000
+	FlagIncludeStoppedPkgs  uint32 = 0x00000020
+	FlagGrantReadPermission uint32 = 0x00000001
+)
+
+// IsExplicit reports whether the intent names a target component.
+func (in *Intent) IsExplicit() bool { return !in.Component.IsZero() }
+
+// HasCategory reports whether the intent carries the category.
+func (in *Intent) HasCategory(cat string) bool {
+	for _, c := range in.Categories {
+		if c == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCategory appends a category if not already present.
+func (in *Intent) AddCategory(cat string) {
+	if !in.HasCategory(cat) {
+		in.Categories = append(in.Categories, cat)
+	}
+}
+
+// PutExtra adds a typed extra, allocating the bundle lazily.
+func (in *Intent) PutExtra(key string, v Value) {
+	if in.Extras == nil {
+		in.Extras = NewBundle()
+	}
+	in.Extras.Put(key, v)
+}
+
+// Clone returns a deep copy of the intent.
+func (in *Intent) Clone() *Intent {
+	cp := *in
+	cp.Categories = append([]string(nil), in.Categories...)
+	cp.Extras = in.Extras.Clone()
+	return &cp
+}
+
+// String renders the intent in the logcat style the paper quotes, e.g.
+// {act=android.intent.action.DIAL dat=tel:123 cmp=com.foo/.Bar (has extras)}.
+func (in *Intent) String() string {
+	var parts []string
+	if in.Action != "" {
+		parts = append(parts, "act="+in.Action)
+	}
+	if !in.Data.IsZero() {
+		parts = append(parts, "dat="+in.Data.String())
+	}
+	for _, c := range in.Categories {
+		parts = append(parts, "cat="+c)
+	}
+	if in.Type != "" {
+		parts = append(parts, "typ="+in.Type)
+	}
+	if !in.Component.IsZero() {
+		parts = append(parts, "cmp="+in.Component.FlattenToString())
+	}
+	if in.Flags != 0 {
+		parts = append(parts, fmt.Sprintf("flg=0x%x", in.Flags))
+	}
+	if in.Extras.Len() > 0 {
+		parts = append(parts, "(has extras)")
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Defect flags describe, from the *generator's* point of view, what is
+// malformed about a fuzzed intent. The behaviour models key off these to
+// decide which validation path a component exercises. The analyzer never
+// sees them — it works from logs only, like the paper.
+type Defect uint16
+
+const (
+	// DefectNone marks a fully well-formed intent.
+	DefectNone Defect = 0
+	// DefectMismatchedPair: action and data are individually valid but the
+	// combination is invalid (FIC A).
+	DefectMismatchedPair Defect = 1 << iota
+	// DefectMissingAction: no action set (FIC B).
+	DefectMissingAction
+	// DefectMissingData: no data URI set (FIC B).
+	DefectMissingData
+	// DefectRandomAction: action is a random string (FIC C).
+	DefectRandomAction
+	// DefectRandomData: data is a random string (FIC C).
+	DefectRandomData
+	// DefectRandomExtras: extras carry random keys/values (FIC D).
+	DefectRandomExtras
+	// DefectNullExtra: at least one extra is an explicit null (FIC D).
+	DefectNullExtra
+	// DefectWrongComponentKind: intent targeted a Service API at an Activity
+	// or vice versa.
+	DefectWrongComponentKind
+)
+
+// Has reports whether d contains flag f.
+func (d Defect) Has(f Defect) bool { return d&f != 0 }
+
+// String lists the defect flags for logging/debug.
+func (d Defect) String() string {
+	if d == DefectNone {
+		return "none"
+	}
+	var names []string
+	for _, e := range []struct {
+		f Defect
+		n string
+	}{
+		{DefectMismatchedPair, "mismatched-pair"},
+		{DefectMissingAction, "missing-action"},
+		{DefectMissingData, "missing-data"},
+		{DefectRandomAction, "random-action"},
+		{DefectRandomData, "random-data"},
+		{DefectRandomExtras, "random-extras"},
+		{DefectNullExtra, "null-extra"},
+		{DefectWrongComponentKind, "wrong-component-kind"},
+	} {
+		if d.Has(e.f) {
+			names = append(names, e.n)
+		}
+	}
+	return strings.Join(names, "|")
+}

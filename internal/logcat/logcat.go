@@ -1,0 +1,276 @@
+// Package logcat models Android's logging facility. Every observable the
+// paper measures — FATAL EXCEPTION blocks, ANR reports, SecurityExceptions,
+// native signal deliveries, reboot markers — is read out of logcat; the QGJ
+// workflow pulls the logs over adb and the analyzer classifies
+// manifestations from them (Section III-D: "we collected all of the log
+// files (over 2GB) from the wearable using logcat").
+package logcat
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is the Android log priority.
+type Level int
+
+const (
+	Verbose Level = iota + 1
+	Debug
+	Info
+	Warn
+	Error
+	Fatal
+)
+
+// String returns the single-letter logcat priority code.
+func (l Level) String() string {
+	switch l {
+	case Verbose:
+		return "V"
+	case Debug:
+		return "D"
+	case Info:
+		return "I"
+	case Warn:
+		return "W"
+	case Error:
+		return "E"
+	case Fatal:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// Entry is one log line.
+type Entry struct {
+	Time    time.Time
+	PID     int
+	TID     int
+	Level   Level
+	Tag     string
+	Message string
+}
+
+// Format renders the entry in logcat's threadtime format, which the pull
+// path emits and the parser consumes.
+func (e Entry) Format() string {
+	return fmt.Sprintf("%s %5d %5d %s %s: %s",
+		e.Time.Format("01-02 15:04:05.000"), e.PID, e.TID, e.Level, e.Tag, e.Message)
+}
+
+// Well-known tags used across the simulator, mirroring AOSP conventions.
+const (
+	TagActivityManager = "ActivityManager"
+	TagAndroidRuntime  = "AndroidRuntime"
+	TagSystemServer    = "SystemServer"
+	TagSensorService   = "SensorService"
+	TagWindowManager   = "WindowManager"
+	TagPackageManager  = "PackageManager"
+	TagWatchdog        = "Watchdog"
+	TagDEBUG           = "DEBUG" // native crash dumps (debuggerd)
+	TagBoot            = "boot"
+	TagMonkey          = "Monkey"
+	TagGoogleFit       = "GoogleFit"
+)
+
+// Sink receives entries as they are appended; the streaming analyzer and
+// test recorders register sinks so multi-million-entry campaigns do not have
+// to retain the full log in memory.
+type Sink interface {
+	Consume(Entry)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Entry)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(e Entry) { f(e) }
+
+// Buffer is a bounded ring of log entries, like the kernel log buffer
+// logcat reads. Oldest entries are dropped when the buffer is full.
+type Buffer struct {
+	mu      sync.Mutex
+	entries []Entry
+	start   int // index of oldest entry
+	count   int
+	dropped uint64
+	sinks   []Sink
+}
+
+// DefaultCapacity matches a generously sized logd buffer; campaign runs
+// clear the buffer per-app the way the paper pulls logs per experiment.
+const DefaultCapacity = 1 << 16
+
+// NewBuffer returns a ring buffer holding up to capacity entries
+// (DefaultCapacity when capacity <= 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Buffer{entries: make([]Entry, capacity)}
+}
+
+// Subscribe registers a sink that observes every subsequent Append. Sinks
+// are invoked synchronously in registration order.
+func (b *Buffer) Subscribe(s Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, s)
+}
+
+// Append adds an entry to the buffer and fans it out to sinks.
+func (b *Buffer) Append(e Entry) {
+	b.mu.Lock()
+	capN := len(b.entries)
+	if b.count == capN {
+		b.entries[b.start] = e
+		b.start = (b.start + 1) % capN
+		b.dropped++
+	} else {
+		b.entries[(b.start+b.count)%capN] = e
+		b.count++
+	}
+	sinks := b.sinks
+	b.mu.Unlock()
+	for _, s := range sinks {
+		s.Consume(e)
+	}
+}
+
+// Len returns the number of retained entries.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Dropped returns how many entries were evicted due to capacity.
+func (b *Buffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Snapshot returns a copy of the retained entries, oldest first.
+func (b *Buffer) Snapshot() []Entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Entry, b.count)
+	for i := 0; i < b.count; i++ {
+		out[i] = b.entries[(b.start+i)%len(b.entries)]
+	}
+	return out
+}
+
+// Clear discards all retained entries (adb logcat -c).
+func (b *Buffer) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.start, b.count = 0, 0
+}
+
+// Dump renders the retained entries in threadtime format, one per line.
+func (b *Buffer) Dump() string {
+	snap := b.Snapshot()
+	var sb strings.Builder
+	for _, e := range snap {
+		sb.WriteString(e.Format())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Logger is a convenience handle that stamps entries with a clock and
+// writes them to a buffer.
+type Logger struct {
+	buf *Buffer
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing to buf with timestamps from now.
+func NewLogger(buf *Buffer, now func() time.Time) *Logger {
+	return &Logger{buf: buf, now: now}
+}
+
+// Log appends a formatted entry.
+func (l *Logger) Log(pid, tid int, level Level, tag, format string, args ...any) {
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	l.buf.Append(Entry{
+		Time: l.now(), PID: pid, TID: tid, Level: level, Tag: tag, Message: msg,
+	})
+}
+
+// Block appends several entries sharing the same metadata — used for
+// multi-line artifacts like stack traces so they stay contiguous.
+func (l *Logger) Block(pid, tid int, level Level, tag string, lines []string) {
+	t := l.now()
+	for _, line := range lines {
+		l.buf.Append(Entry{Time: t, PID: pid, TID: tid, Level: level, Tag: tag, Message: line})
+	}
+}
+
+// Buffer exposes the underlying ring, for pull/clear operations.
+func (l *Logger) Buffer() *Buffer { return l.buf }
+
+// ParseLine parses one threadtime-formatted line back into an Entry. The
+// year is taken from the provided base year because logcat omits it. ok is
+// false for lines that do not look like threadtime output.
+func ParseLine(line string, year int) (Entry, bool) {
+	// Format: "01-02 15:04:05.000 <pid> <tid> <L> <tag>: <message>"
+	if len(line) < 19 {
+		return Entry{}, false
+	}
+	ts, err := time.Parse("01-02 15:04:05.000", line[:18])
+	if err != nil {
+		return Entry{}, false
+	}
+	ts = ts.AddDate(year, 0, 0)
+	rest := strings.TrimSpace(line[18:])
+	fields := strings.Fields(rest)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	var pid, tid int
+	if _, err := fmt.Sscanf(fields[0], "%d", &pid); err != nil {
+		return Entry{}, false
+	}
+	if _, err := fmt.Sscanf(fields[1], "%d", &tid); err != nil {
+		return Entry{}, false
+	}
+	var level Level
+	switch fields[2] {
+	case "V":
+		level = Verbose
+	case "D":
+		level = Debug
+	case "I":
+		level = Info
+	case "W":
+		level = Warn
+	case "E":
+		level = Error
+	case "F":
+		level = Fatal
+	default:
+		return Entry{}, false
+	}
+	// Tag runs up to the first ": " after the level field.
+	idx := strings.Index(rest, fields[2]+" ")
+	if idx < 0 {
+		return Entry{}, false
+	}
+	tagAndMsg := rest[idx+2:]
+	tag, msg, found := strings.Cut(tagAndMsg, ": ")
+	if !found {
+		tag = strings.TrimSuffix(tagAndMsg, ":")
+		msg = ""
+	}
+	return Entry{Time: ts, PID: pid, TID: tid, Level: level, Tag: tag, Message: msg}, true
+}

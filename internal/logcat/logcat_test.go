@@ -1,0 +1,213 @@
+package logcat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestBufferAppendAndSnapshot(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.Append(Entry{PID: i})
+	}
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Len = %d", len(snap))
+	}
+	for i, e := range snap {
+		if e.PID != i {
+			t.Fatalf("snapshot out of order: %v", snap)
+		}
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Append(Entry{PID: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
+	}
+	snap := b.Snapshot()
+	want := []int{2, 3, 4}
+	for i, e := range snap {
+		if e.PID != want[i] {
+			t.Fatalf("after eviction snapshot = %v", snap)
+		}
+	}
+}
+
+func TestBufferClear(t *testing.T) {
+	b := NewBuffer(8)
+	b.Append(Entry{})
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	b.Append(Entry{PID: 42})
+	if snap := b.Snapshot(); len(snap) != 1 || snap[0].PID != 42 {
+		t.Fatalf("append after clear = %v", snap)
+	}
+}
+
+// Property: for any sequence of appends, the snapshot is always the last
+// min(n, cap) entries in order.
+func TestQuickRingInvariant(t *testing.T) {
+	f := func(pids []uint8) bool {
+		const capN = 7
+		b := NewBuffer(capN)
+		for _, p := range pids {
+			b.Append(Entry{PID: int(p)})
+		}
+		snap := b.Snapshot()
+		n := len(pids)
+		wantLen := n
+		if wantLen > capN {
+			wantLen = capN
+		}
+		if len(snap) != wantLen {
+			return false
+		}
+		for i := range snap {
+			if snap[i].PID != int(pids[n-wantLen+i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinksObserveAppends(t *testing.T) {
+	b := NewBuffer(2) // tiny: sinks must still see everything
+	var seen []int
+	b.Subscribe(SinkFunc(func(e Entry) { seen = append(seen, e.PID) }))
+	for i := 0; i < 5; i++ {
+		b.Append(Entry{PID: i})
+	}
+	if len(seen) != 5 {
+		t.Fatalf("sink saw %d entries, want 5", len(seen))
+	}
+}
+
+func TestLoggerStampsVirtualTime(t *testing.T) {
+	clk := vclock.NewVirtual(time.Time{})
+	b := NewBuffer(8)
+	l := NewLogger(b, clk.Now)
+	l.Log(100, 100, Info, TagActivityManager, "START u0 {act=%s}", "android.intent.action.VIEW")
+	clk.Advance(time.Second)
+	l.Log(100, 100, Error, TagAndroidRuntime, "FATAL EXCEPTION: main")
+	snap := b.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Len = %d", len(snap))
+	}
+	if !snap[1].Time.Equal(snap[0].Time.Add(time.Second)) {
+		t.Fatalf("timestamps not advancing: %v %v", snap[0].Time, snap[1].Time)
+	}
+	if !strings.Contains(snap[0].Message, "act=android.intent.action.VIEW") {
+		t.Errorf("formatted message = %q", snap[0].Message)
+	}
+}
+
+func TestBlockSharesTimestamp(t *testing.T) {
+	clk := vclock.NewVirtual(time.Time{})
+	b := NewBuffer(8)
+	l := NewLogger(b, clk.Now)
+	l.Block(7, 7, Error, TagAndroidRuntime, []string{"line1", "line2", "line3"})
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Block wrote %d entries", len(snap))
+	}
+	for _, e := range snap[1:] {
+		if !e.Time.Equal(snap[0].Time) {
+			t.Fatal("block entries have differing timestamps")
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	e := Entry{
+		Time:    time.Date(0, 6, 1, 9, 30, 15, 123_000_000, time.UTC),
+		PID:     1234,
+		TID:     1240,
+		Level:   Error,
+		Tag:     TagAndroidRuntime,
+		Message: "FATAL EXCEPTION: main",
+	}
+	line := e.Format()
+	got, ok := ParseLine(line, 0)
+	if !ok {
+		t.Fatalf("ParseLine(%q) failed", line)
+	}
+	if got.PID != e.PID || got.TID != e.TID || got.Level != e.Level ||
+		got.Tag != e.Tag || got.Message != e.Message {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+	if !got.Time.Equal(e.Time) {
+		t.Fatalf("time round trip: got %v, want %v", got.Time, e.Time)
+	}
+}
+
+func TestParseLineRejections(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"short",
+		"not a timestamp at all with enough length to pass",
+		"06-01 09:30:15.123 xx yy Z Tag: msg",
+	} {
+		if _, ok := ParseLine(line, 0); ok {
+			t.Errorf("ParseLine(%q) unexpectedly ok", line)
+		}
+	}
+}
+
+func TestParseLineMessageWithColons(t *testing.T) {
+	e := Entry{
+		Time: time.Date(0, 1, 2, 3, 4, 5, 0, time.UTC), PID: 1, TID: 2,
+		Level: Info, Tag: "Tag", Message: "a: b: c",
+	}
+	got, ok := ParseLine(e.Format(), 0)
+	if !ok || got.Message != "a: b: c" || got.Tag != "Tag" {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestDumpContainsAllLines(t *testing.T) {
+	b := NewBuffer(8)
+	l := NewLogger(b, func() time.Time { return vclock.Epoch })
+	l.Log(1, 1, Info, "A", "first")
+	l.Log(2, 2, Warn, "B", "second")
+	dump := b.Dump()
+	if !strings.Contains(dump, "first") || !strings.Contains(dump, "second") {
+		t.Fatalf("Dump = %q", dump)
+	}
+	if got := strings.Count(dump, "\n"); got != 2 {
+		t.Fatalf("Dump has %d lines", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	levels := map[Level]string{Verbose: "V", Debug: "D", Info: "I", Warn: "W", Error: "E", Fatal: "F"}
+	for l, s := range levels {
+		if l.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(l), l.String(), s)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	if got := len(b.entries); got != DefaultCapacity {
+		t.Fatalf("default capacity = %d", got)
+	}
+}

@@ -1,0 +1,440 @@
+// Package manifest models AndroidManifest.xml-level metadata: packages,
+// application components (Activities, Services, Receivers), intent filters,
+// and permissions.
+//
+// The QGJ study targets Activities and Services "because they form the large
+// majority of the components on AW apps" (Section III-B); the PackageManager
+// model resolves explicit intents against this metadata and enforces the
+// exported/permission attributes that produce the SecurityExceptions the
+// paper measures.
+package manifest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/intent"
+)
+
+// ComponentType enumerates the Android component kinds relevant to the
+// study.
+type ComponentType int
+
+const (
+	Activity ComponentType = iota + 1
+	Service
+	Receiver
+)
+
+// String returns the manifest tag name for the component type.
+func (t ComponentType) String() string {
+	switch t {
+	case Activity:
+		return "activity"
+	case Service:
+		return "service"
+	case Receiver:
+		return "receiver"
+	default:
+		return "unknown"
+	}
+}
+
+// AppCategory is the paper's primary application split (Table II).
+type AppCategory int
+
+const (
+	HealthFitness AppCategory = iota + 1
+	NotHealthFitness
+)
+
+// String renders the category the way Table II labels it.
+func (c AppCategory) String() string {
+	switch c {
+	case HealthFitness:
+		return "Health/Fitness"
+	case NotHealthFitness:
+		return "Not Health/Fitness"
+	default:
+		return "unknown"
+	}
+}
+
+// Origin is the paper's orthogonal classification: built-in (pre-installed,
+// developed by Google/vendor) versus third party (Play Store).
+type Origin int
+
+const (
+	BuiltIn Origin = iota + 1
+	ThirdParty
+)
+
+// String renders the origin the way Table II labels it.
+func (o Origin) String() string {
+	switch o {
+	case BuiltIn:
+		return "Built-in"
+	case ThirdParty:
+		return "Third Party"
+	default:
+		return "unknown"
+	}
+}
+
+// IntentFilter matches implicit intents against a component, following
+// Android's three-part test: action match, category match (every category in
+// the intent must be declared by the filter), and data match (scheme / MIME).
+type IntentFilter struct {
+	Actions     []string
+	Categories  []string
+	DataSchemes []string
+	MimeTypes   []string
+}
+
+// Matches applies the Android intent-filter test to in.
+func (f *IntentFilter) Matches(in *intent.Intent) bool {
+	if !f.matchAction(in.Action) {
+		return false
+	}
+	if !f.matchCategories(in.Categories) {
+		return false
+	}
+	return f.matchData(in)
+}
+
+func (f *IntentFilter) matchAction(action string) bool {
+	// A filter with no actions matches nothing (Android semantics).
+	if len(f.Actions) == 0 {
+		return false
+	}
+	// An intent with no action passes the action test against any filter.
+	if action == "" {
+		return true
+	}
+	for _, a := range f.Actions {
+		if a == action {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *IntentFilter) matchCategories(cats []string) bool {
+	for _, c := range cats {
+		found := false
+		for _, fc := range f.Categories {
+			if fc == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *IntentFilter) matchData(in *intent.Intent) bool {
+	hasData := !in.Data.IsZero()
+	hasType := in.Type != ""
+	if len(f.DataSchemes) == 0 && len(f.MimeTypes) == 0 {
+		// Filter declares no data: only intents without data/type match.
+		return !hasData && !hasType
+	}
+	if hasData {
+		ok := false
+		for _, s := range f.DataSchemes {
+			if s == in.Data.Scheme {
+				ok = true
+				break
+			}
+		}
+		if len(f.DataSchemes) > 0 && !ok {
+			return false
+		}
+	}
+	if hasType {
+		ok := false
+		for _, m := range f.MimeTypes {
+			if mimeMatches(m, in.Type) {
+				ok = true
+				break
+			}
+		}
+		if len(f.MimeTypes) > 0 && !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func mimeMatches(pattern, typ string) bool {
+	if pattern == "*/*" || pattern == typ {
+		return true
+	}
+	if strings.HasSuffix(pattern, "/*") {
+		return strings.HasPrefix(typ, strings.TrimSuffix(pattern, "*"))
+	}
+	return false
+}
+
+// Component is one declared component of a package.
+type Component struct {
+	Name       intent.ComponentName
+	Type       ComponentType
+	Exported   bool
+	Permission string // required caller permission; empty means none
+	Filters    []*IntentFilter
+	// MainLauncher marks the entry activity (MAIN/LAUNCHER filter); QGJ-UI
+	// only targets launcher activities (Section IV-D).
+	MainLauncher bool
+}
+
+// Package is one installed application.
+type Package struct {
+	Name       string // e.g. com.fitwell.tracker
+	Label      string // human-readable app name
+	Category   AppCategory
+	Origin     Origin
+	Downloads  int64 // Play Store downloads (3rd-party selection criterion)
+	Components []*Component
+	// UsesGoogleFit marks Health/Fitness apps that talk to the Google Fit
+	// facade (the paper's error-propagation hypothesis).
+	UsesGoogleFit bool
+	// UsesSensorManager marks apps that use SensorManager directly (the
+	// first reboot post-mortem involves such an app).
+	UsesSensorManager bool
+}
+
+// ComponentsOf returns the package's components of the given type.
+func (p *Package) ComponentsOf(t ComponentType) []*Component {
+	var out []*Component
+	for _, c := range p.Components {
+		if c.Type == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Launcher returns the package's MAIN/LAUNCHER activity, or nil.
+func (p *Package) Launcher() *Component {
+	for _, c := range p.Components {
+		if c.MainLauncher {
+			return c
+		}
+	}
+	return nil
+}
+
+// Registry indexes installed packages and resolves component lookups; it is
+// the PackageManager's data plane.
+type Registry struct {
+	packages map[string]*Package
+	byName   map[intent.ComponentName]*Component
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		packages: make(map[string]*Package),
+		byName:   make(map[intent.ComponentName]*Component),
+	}
+}
+
+// Install adds pkg to the registry. Reinstalling a package name replaces the
+// previous version. It returns an error when a component is declared under a
+// different package than its own.
+func (r *Registry) Install(pkg *Package) error {
+	if pkg.Name == "" {
+		return fmt.Errorf("manifest: package with empty name")
+	}
+	for _, c := range pkg.Components {
+		if c.Name.Package != pkg.Name {
+			return fmt.Errorf("manifest: component %s declared in package %s", c.Name, pkg.Name)
+		}
+	}
+	if old, ok := r.packages[pkg.Name]; ok {
+		for _, c := range old.Components {
+			delete(r.byName, c.Name)
+		}
+	} else {
+		r.order = append(r.order, pkg.Name)
+	}
+	r.packages[pkg.Name] = pkg
+	for _, c := range pkg.Components {
+		r.byName[c.Name] = c
+	}
+	return nil
+}
+
+// Uninstall removes the named package; it reports whether it was installed.
+func (r *Registry) Uninstall(name string) bool {
+	pkg, ok := r.packages[name]
+	if !ok {
+		return false
+	}
+	for _, c := range pkg.Components {
+		delete(r.byName, c.Name)
+	}
+	delete(r.packages, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Package returns the named package, or nil.
+func (r *Registry) Package(name string) *Package { return r.packages[name] }
+
+// Packages returns all installed packages in installation order.
+func (r *Registry) Packages() []*Package {
+	out := make([]*Package, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.packages[n])
+	}
+	return out
+}
+
+// Component resolves an explicit component name; nil when unknown.
+func (r *Registry) Component(name intent.ComponentName) *Component {
+	return r.byName[name]
+}
+
+// Resolve returns the component an intent resolves to. Explicit intents
+// resolve by component name; implicit intents resolve to the best filter
+// match (first installed package wins ties, matching the paper's
+// explicit-intent focus where implicit resolution is rarely exercised).
+func (r *Registry) Resolve(in *intent.Intent, want ComponentType) *Component {
+	if in.IsExplicit() {
+		c := r.byName[in.Component]
+		if c == nil || c.Type != want {
+			return nil
+		}
+		return c
+	}
+	for _, name := range r.order {
+		for _, c := range r.packages[name].Components {
+			if c.Type != want || !c.Exported {
+				continue
+			}
+			for _, f := range c.Filters {
+				if f.Matches(in) {
+					return c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the registry the way Table II does.
+type Stats struct {
+	Apps       int
+	Activities int
+	Services   int
+	Receivers  int
+}
+
+// StatsFor aggregates component counts for packages matching the category
+// and origin. Pass zero values to aggregate over everything.
+func (r *Registry) StatsFor(cat AppCategory, origin Origin) Stats {
+	var s Stats
+	for _, name := range r.order {
+		p := r.packages[name]
+		if cat != 0 && p.Category != cat {
+			continue
+		}
+		if origin != 0 && p.Origin != origin {
+			continue
+		}
+		s.Apps++
+		for _, c := range p.Components {
+			switch c.Type {
+			case Activity:
+				s.Activities++
+			case Service:
+				s.Services++
+			case Receiver:
+				s.Receivers++
+			}
+		}
+	}
+	return s
+}
+
+// AllComponents returns every installed component of the given types in
+// deterministic order.
+func (r *Registry) AllComponents(types ...ComponentType) []*Component {
+	allow := make(map[ComponentType]bool, len(types))
+	for _, t := range types {
+		allow[t] = true
+	}
+	var out []*Component
+	for _, name := range r.order {
+		for _, c := range r.packages[name].Components {
+			if len(allow) == 0 || allow[c.Type] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// PermissionRegistry records the permission strings known to the device;
+// `pm` rejects permission strings not registered here (Section IV-D).
+type PermissionRegistry struct {
+	known map[string]bool
+}
+
+// NewPermissionRegistry returns a registry pre-loaded with the given
+// permissions.
+func NewPermissionRegistry(perms ...string) *PermissionRegistry {
+	m := make(map[string]bool, len(perms))
+	for _, p := range perms {
+		m[p] = true
+	}
+	return &PermissionRegistry{known: m}
+}
+
+// Register adds a permission string.
+func (pr *PermissionRegistry) Register(perm string) { pr.known[perm] = true }
+
+// Known reports whether perm is registered on the device.
+func (pr *PermissionRegistry) Known(perm string) bool { return pr.known[perm] }
+
+// List returns all registered permissions, sorted.
+func (pr *PermissionRegistry) List() []string {
+	out := make([]string, 0, len(pr.known))
+	for p := range pr.known {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Standard Android permissions used by the simulated fleets.
+var StandardPermissions = []string{
+	"android.permission.BODY_SENSORS",
+	"android.permission.ACTIVITY_RECOGNITION",
+	"android.permission.INTERNET",
+	"android.permission.ACCESS_FINE_LOCATION",
+	"android.permission.ACCESS_COARSE_LOCATION",
+	"android.permission.WAKE_LOCK",
+	"android.permission.VIBRATE",
+	"android.permission.RECEIVE_BOOT_COMPLETED",
+	"android.permission.READ_CONTACTS",
+	"android.permission.CALL_PHONE",
+	"android.permission.RECORD_AUDIO",
+	"android.permission.CAMERA",
+	"android.permission.BLUETOOTH",
+	"android.permission.BLUETOOTH_ADMIN",
+	"android.permission.READ_EXTERNAL_STORAGE",
+	"android.permission.WRITE_EXTERNAL_STORAGE",
+}

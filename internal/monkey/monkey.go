@@ -1,0 +1,249 @@
+// Package monkey simulates the Android UI/Application Exerciser Monkey,
+// the stress tool QGJ-UI builds on. Monkey generates a stream of
+// pseudo-random UI events (touch, trackball, app switch, permission, ...)
+// against the device; QGJ-UI runs it first, parses its log to learn the
+// events and intents it produced, then mutates and replays them
+// (Section III-E, workflow steps 5-6 of Figure 1b).
+package monkey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/manifest"
+	"repro/internal/rng"
+	"repro/internal/wearos"
+)
+
+// EventType enumerates Monkey's event categories. QGJ-UI specifies "equal
+// percentages for different types of events (e.g. touch, trackball, app
+// switch, permission etc.)".
+type EventType int
+
+const (
+	Touch EventType = iota + 1
+	Motion
+	Trackball
+	Nav
+	MajorNav
+	SysKeys
+	AppSwitch
+	FlipKeyboard
+	Permission
+	Rotation
+)
+
+// AllEventTypes lists the generated categories.
+var AllEventTypes = []EventType{
+	Touch, Motion, Trackball, Nav, MajorNav,
+	SysKeys, AppSwitch, FlipKeyboard, Permission, Rotation,
+}
+
+// String names the event type the way Monkey's verbose log does.
+func (t EventType) String() string {
+	switch t {
+	case Touch:
+		return "Touch"
+	case Motion:
+		return "Motion"
+	case Trackball:
+		return "Trackball"
+	case Nav:
+		return "Nav"
+	case MajorNav:
+		return "MajorNav"
+	case SysKeys:
+		return "SysKeys"
+	case AppSwitch:
+		return "AppSwitch"
+	case FlipKeyboard:
+		return "FlipKeyboard"
+	case Permission:
+		return "Permission"
+	case Rotation:
+		return "Rotation"
+	default:
+		return "Unknown"
+	}
+}
+
+// Event is one generated UI event with its (stringly typed) arguments, the
+// way they appear in the Monkey log and get replayed through adb.
+type Event struct {
+	Type EventType
+	// Args are the event's textual arguments (coordinates, key codes,
+	// permission strings, component names) in log order.
+	Args []string
+	// Intent is the am-style argument list when the event caused Monkey to
+	// emit an intent (AppSwitch events and a share of others).
+	Intent []string
+}
+
+// IsIntent reports whether the event carries an intent to replay via am.
+func (e Event) IsIntent() bool { return len(e.Intent) > 0 }
+
+// LogLines renders the event in Monkey's verbose format.
+func (e Event) LogLines() []string {
+	var out []string
+	out = append(out, fmt.Sprintf(":Sending %s: %s", e.Type, strings.Join(e.Args, " ")))
+	if e.IsIntent() {
+		out = append(out, "    // Sending intent: am "+strings.Join(e.Intent, " "))
+	}
+	return out
+}
+
+// Config parameterizes a Monkey run.
+type Config struct {
+	Seed uint64
+	// Events is the number of UI events to generate.
+	Events int
+	// IntentRatio is the probability an event also emits an intent line
+	// (app switches always do). Default 0.25.
+	IntentRatio float64
+}
+
+// Generator produces the event stream for one device's app population.
+type Generator struct {
+	cfg       Config
+	r         *rng.Source
+	launchers []string // flattened launcher components
+	perms     []string
+}
+
+// NewGenerator builds a generator against the device's installed apps.
+func NewGenerator(dev *wearos.OS, cfg Config) *Generator {
+	if cfg.IntentRatio <= 0 {
+		cfg.IntentRatio = 0.25
+	}
+	g := &Generator{cfg: cfg, r: rng.New(cfg.Seed).Split("monkey")}
+	for _, p := range dev.Registry().Packages() {
+		if l := p.Launcher(); l != nil {
+			g.launchers = append(g.launchers, l.Name.FlattenToString())
+		}
+	}
+	g.perms = dev.Permissions().List()
+	return g
+}
+
+// Generate produces the full event stream.
+func (g *Generator) Generate() []Event {
+	out := make([]Event, 0, g.cfg.Events)
+	for i := 0; i < g.cfg.Events; i++ {
+		t := AllEventTypes[i%len(AllEventTypes)] // equal percentages
+		out = append(out, g.event(t))
+	}
+	return out
+}
+
+func (g *Generator) event(t EventType) Event {
+	e := Event{Type: t}
+	switch t {
+	case Touch, Motion:
+		x := g.r.IntBetween(0, 319)
+		y := g.r.IntBetween(0, 319)
+		e.Args = []string{"(ACTION_DOWN)", coord(float64(x)), coord(float64(y))}
+	case Trackball, Nav, MajorNav:
+		e.Args = []string{"(dx)", coord(g.r.NormFloat64() * 5), "(dy)", coord(g.r.NormFloat64() * 5)}
+	case SysKeys:
+		keys := []string{"KEYCODE_HOME", "KEYCODE_BACK", "KEYCODE_POWER", "KEYCODE_WAKEUP"}
+		e.Args = []string{rng.Pick(g.r, keys)}
+	case AppSwitch:
+		e.Args = []string{"(to launcher)"}
+		if len(g.launchers) > 0 {
+			cmp := rng.Pick(g.r, g.launchers)
+			e.Intent = []string{"start", "-n", cmp}
+		}
+	case FlipKeyboard:
+		e.Args = []string{"(open)"}
+	case Permission:
+		if len(g.perms) > 0 {
+			e.Args = []string{rng.Pick(g.r, g.perms)}
+		} else {
+			e.Args = []string{"android.permission.INTERNET"}
+		}
+	case Rotation:
+		e.Args = []string{"degree=" + strconv.Itoa(g.r.Intn(4)*90)}
+	}
+	// A share of non-app-switch events also surfaces intents ("These UI
+	// events may trigger monkey to generate some intents").
+	if !e.IsIntent() && t != AppSwitch && len(g.launchers) > 0 && g.r.Bool(g.cfg.IntentRatio) {
+		cmp := rng.Pick(g.r, g.launchers)
+		actions := []string{
+			"android.intent.action.MAIN",
+			"android.intent.action.VIEW",
+			"android.intent.action.SEND",
+		}
+		e.Intent = []string{"start", "-n", cmp, "-a", rng.Pick(g.r, actions)}
+	}
+	return e
+}
+
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// RenderLog produces the Monkey verbose log for a run; QGJ-UI parses this
+// back (workflow step 6).
+func RenderLog(events []Event) string {
+	var sb strings.Builder
+	sb.WriteString(":Monkey: seed=? count=" + strconv.Itoa(len(events)) + "\n")
+	for _, e := range events {
+		for _, l := range e.LogLines() {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("// Monkey finished\n")
+	return sb.String()
+}
+
+// ParseLog reads a Monkey verbose log back into events. Unparseable lines
+// are skipped, like QGJ-UI's tolerant log scraper.
+func ParseLog(log string) []Event {
+	var out []Event
+	var last *Event
+	for _, line := range strings.Split(log, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, ":Sending "):
+			rest := strings.TrimPrefix(trimmed, ":Sending ")
+			name, args, ok := strings.Cut(rest, ": ")
+			if !ok {
+				continue
+			}
+			t, ok := eventTypeByName(name)
+			if !ok {
+				continue
+			}
+			out = append(out, Event{Type: t, Args: strings.Fields(args)})
+			last = &out[len(out)-1]
+		case strings.HasPrefix(trimmed, "// Sending intent: am "):
+			if last == nil {
+				continue
+			}
+			last.Intent = strings.Fields(strings.TrimPrefix(trimmed, "// Sending intent: am "))
+		}
+	}
+	return out
+}
+
+func eventTypeByName(name string) (EventType, bool) {
+	for _, t := range AllEventTypes {
+		if t.String() == name {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// LauncherTargets lists the launcher components Monkey can reach — QGJ-UI
+// "only sends intents to launcher activities of various applications"
+// (Section IV-D).
+func LauncherTargets(dev *wearos.OS) []*manifest.Component {
+	var out []*manifest.Component
+	for _, p := range dev.Registry().Packages() {
+		if l := p.Launcher(); l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}

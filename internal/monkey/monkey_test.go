@@ -1,0 +1,140 @@
+package monkey
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/wearos"
+)
+
+func newDevWithLaunchers(t *testing.T, n int) *wearos.OS {
+	t.Helper()
+	dev := wearos.New(wearos.DefaultEmulatorConfig())
+	for i := 0; i < n; i++ {
+		pkg := "com.app" + string(rune('a'+i))
+		p := &manifest.Package{
+			Name:     pkg,
+			Category: manifest.NotHealthFitness,
+			Origin:   manifest.ThirdParty,
+			Components: []*manifest.Component{
+				{
+					Name: intent.ComponentName{Package: pkg, Class: pkg + ".ui.Main"},
+					Type: manifest.Activity, Exported: true, MainLauncher: true,
+				},
+			},
+		}
+		if err := dev.InstallPackage(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dev
+}
+
+func TestGenerateEqualPercentages(t *testing.T) {
+	dev := newDevWithLaunchers(t, 3)
+	g := NewGenerator(dev, Config{Seed: 1, Events: 1000})
+	events := g.Generate()
+	if len(events) != 1000 {
+		t.Fatalf("generated %d events", len(events))
+	}
+	counts := map[EventType]int{}
+	for _, e := range events {
+		counts[e.Type]++
+	}
+	for _, ty := range AllEventTypes {
+		if counts[ty] != 100 {
+			t.Errorf("event type %s count = %d, want 100 (equal percentages)", ty, counts[ty])
+		}
+	}
+}
+
+func TestAppSwitchCarriesIntent(t *testing.T) {
+	dev := newDevWithLaunchers(t, 2)
+	g := NewGenerator(dev, Config{Seed: 2, Events: 100})
+	for _, e := range g.Generate() {
+		if e.Type == AppSwitch && !e.IsIntent() {
+			t.Fatal("AppSwitch event without intent")
+		}
+	}
+}
+
+func TestIntentRatio(t *testing.T) {
+	dev := newDevWithLaunchers(t, 2)
+	g := NewGenerator(dev, Config{Seed: 3, Events: 10000, IntentRatio: 0.25})
+	intents := 0
+	events := g.Generate()
+	for _, e := range events {
+		if e.IsIntent() {
+			intents++
+		}
+	}
+	share := float64(intents) / float64(len(events))
+	// AppSwitch (10%) always + 25% of the remaining 90% ≈ 32.5%.
+	if share < 0.28 || share < 0.25 || share > 0.38 {
+		t.Fatalf("intent share = %.3f, want ~0.325", share)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dev := newDevWithLaunchers(t, 2)
+	g := NewGenerator(dev, Config{Seed: 4, Events: 200})
+	events := g.Generate()
+	log := RenderLog(events)
+	parsed := ParseLog(log)
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, generated %d", len(parsed), len(events))
+	}
+	for i := range events {
+		if parsed[i].Type != events[i].Type {
+			t.Fatalf("event %d type = %v, want %v", i, parsed[i].Type, events[i].Type)
+		}
+		if parsed[i].IsIntent() != events[i].IsIntent() {
+			t.Fatalf("event %d intent presence mismatch", i)
+		}
+		if parsed[i].IsIntent() && strings.Join(parsed[i].Intent, " ") != strings.Join(events[i].Intent, " ") {
+			t.Fatalf("event %d intent = %v, want %v", i, parsed[i].Intent, events[i].Intent)
+		}
+	}
+}
+
+func TestParseLogSkipsGarbage(t *testing.T) {
+	log := ":Monkey: seed=1\n" +
+		"garbage line\n" +
+		":Sending Touch: (ACTION_DOWN) 10.00 20.00\n" +
+		":Sending Unknowable: x\n" +
+		"    // Sending intent: am start -n com.appa/.ui.Main\n" +
+		"// Monkey finished\n"
+	events := ParseLog(log)
+	if len(events) != 1 {
+		t.Fatalf("parsed %d events, want 1", len(events))
+	}
+	if events[0].Type != Touch || !events[0].IsIntent() {
+		t.Fatalf("event = %+v", events[0])
+	}
+}
+
+func TestLauncherTargets(t *testing.T) {
+	dev := newDevWithLaunchers(t, 4)
+	targets := LauncherTargets(dev)
+	if len(targets) != 4 {
+		t.Fatalf("launchers = %d", len(targets))
+	}
+	for _, c := range targets {
+		if !c.MainLauncher {
+			t.Fatalf("non-launcher target %v", c.Name)
+		}
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	dev := newDevWithLaunchers(t, 2)
+	a := NewGenerator(dev, Config{Seed: 7, Events: 50}).Generate()
+	b := NewGenerator(dev, Config{Seed: 7, Events: 50}).Generate()
+	for i := range a {
+		if strings.Join(a[i].Args, " ") != strings.Join(b[i].Args, " ") {
+			t.Fatalf("event %d args differ", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package notify models the Android Wear notification surface. The paper's
+// background stresses that the AW user interface is "centered on
+// notifications, watch faces, native applications and voice commands"
+// (Section II-B) and its related work cites Zhang & Rountev's testing of
+// the AW notification mechanism. This package provides the substrate — a
+// NotificationManager whose notifications carry pending-intent actions —
+// plus a small mutational fuzzer over those actions, as an extension
+// experiment beyond the paper's QGJ-Master/QGJ-UI pair.
+package notify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/intent"
+	"repro/internal/logcat"
+	"repro/internal/rng"
+	"repro/internal/wearos"
+)
+
+// Action is one notification action button backed by a pending intent.
+type Action struct {
+	Title string
+	// Intent fires when the user taps the action. Like a real
+	// PendingIntent it is frozen at post time with the posting app's
+	// identity.
+	Intent *intent.Intent
+}
+
+// Notification is one posted notification.
+type Notification struct {
+	ID      int
+	Package string
+	Title   string
+	Text    string
+	Actions []Action
+}
+
+type notifKey struct {
+	pkg string
+	id  int
+}
+
+// Manager is the device's notification service.
+type Manager struct {
+	dev    *wearos.OS
+	active map[notifKey]*Notification
+	order  []notifKey
+}
+
+// NewManager returns the notification service for a device.
+func NewManager(dev *wearos.OS) *Manager {
+	return &Manager{dev: dev, active: make(map[notifKey]*Notification)}
+}
+
+// Post enqueues a notification. The posting package must be installed;
+// actions with nil intents are rejected (the framework requires a
+// PendingIntent).
+func (m *Manager) Post(n Notification) error {
+	if m.dev.Registry().Package(n.Package) == nil {
+		return fmt.Errorf("notify: package %q not installed", n.Package)
+	}
+	for i, a := range n.Actions {
+		if a.Intent == nil {
+			return fmt.Errorf("notify: action %d of %s/%d has no pending intent", i, n.Package, n.ID)
+		}
+	}
+	k := notifKey{pkg: n.Package, id: n.ID}
+	if _, exists := m.active[k]; !exists {
+		m.order = append(m.order, k)
+	}
+	cp := n
+	cp.Actions = append([]Action(nil), n.Actions...)
+	m.active[k] = &cp
+	m.dev.Logger().Log(1000, 1000, logcat.Info, "NotificationService",
+		"enqueue notification pkg=%s id=%d actions=%d", n.Package, n.ID, len(n.Actions))
+	return nil
+}
+
+// Cancel removes a notification; it reports whether one was active.
+func (m *Manager) Cancel(pkg string, id int) bool {
+	k := notifKey{pkg: pkg, id: id}
+	if _, ok := m.active[k]; !ok {
+		return false
+	}
+	delete(m.active, k)
+	for i, kk := range m.order {
+		if kk == k {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Active returns the posted notifications in posting order.
+func (m *Manager) Active() []Notification {
+	out := make([]Notification, 0, len(m.order))
+	for _, k := range m.order {
+		out = append(out, *m.active[k])
+	}
+	return out
+}
+
+// Fire taps the actionIdx-th action of the notification: the pending
+// intent dispatches through the OS with the posting app's identity.
+func (m *Manager) Fire(pkg string, id, actionIdx int) (wearos.DeliveryResult, error) {
+	n, ok := m.active[notifKey{pkg: pkg, id: id}]
+	if !ok {
+		return 0, fmt.Errorf("notify: no active notification %s/%d", pkg, id)
+	}
+	if actionIdx < 0 || actionIdx >= len(n.Actions) {
+		return 0, fmt.Errorf("notify: notification %s/%d has no action %d", pkg, id, actionIdx)
+	}
+	in := n.Actions[actionIdx].Intent.Clone()
+	return m.dev.StartActivity(in), nil
+}
+
+// SeedFromFleet posts one notification per installed app that has a
+// launcher: a plausible "open me" notification with an action per app,
+// the baseline population the fuzzer mutates.
+func SeedFromFleet(m *Manager) int {
+	posted := 0
+	for _, p := range m.dev.Registry().Packages() {
+		l := p.Launcher()
+		if l == nil {
+			continue
+		}
+		open := &intent.Intent{
+			Action:    "android.intent.action.MAIN",
+			Component: l.Name,
+			SenderUID: wearos.UIDAppBase + 1 + posted,
+		}
+		open.AddCategory(intent.CategoryLauncher)
+		view := open.Clone()
+		view.Action = "android.intent.action.VIEW"
+		view.Data = intent.SampleData("https")
+		err := m.Post(Notification{
+			ID:      1,
+			Package: p.Name,
+			Title:   p.Label,
+			Text:    "You have an update",
+			Actions: []Action{{Title: "Open", Intent: open}, {Title: "View", Intent: view}},
+		})
+		if err == nil {
+			posted++
+		}
+	}
+	return posted
+}
+
+// Mode mirrors QGJ-UI's two mutation strategies.
+type Mode int
+
+const (
+	// SemiValid swaps an action's pending intent with another posted
+	// notification's (valid in isolation, foreign to the target).
+	SemiValid Mode = iota + 1
+	// Random corrupts the pending intent's action string.
+	Random
+)
+
+// FuzzOutcome tallies one notification-fuzzing pass.
+type FuzzOutcome struct {
+	Fired      int
+	Exceptions int
+	Crashes    int
+	Security   int
+}
+
+// FuzzActions mutates and fires every active notification action
+// `rounds` times, reading outcomes from the dispatcher (a full log-driven
+// analysis can be layered on exactly as for the other experiments).
+func FuzzActions(m *Manager, mode Mode, seed uint64, rounds int) FuzzOutcome {
+	r := rng.New(seed).Split("notify-fuzz")
+	var out FuzzOutcome
+
+	// Donor pool for semi-valid swaps.
+	var donors []*intent.Intent
+	for _, n := range m.Active() {
+		for _, a := range n.Actions {
+			donors = append(donors, a.Intent)
+		}
+	}
+	sort.Slice(donors, func(i, j int) bool { return donors[i].String() < donors[j].String() })
+
+	for round := 0; round < rounds; round++ {
+		for _, n := range m.Active() {
+			for idx, a := range n.Actions {
+				mutated := a.Intent.Clone()
+				switch mode {
+				case SemiValid:
+					if len(donors) > 1 {
+						donor := rng.Pick(r, donors)
+						mutated.Action = donor.Action
+						mutated.Data = donor.Data
+					}
+				case Random:
+					mutated.Action = r.ASCII(6, 18)
+					if r.Bool(0.3) {
+						mutated.Data = intent.URI{Scheme: "zz" + r.ASCII(2, 4), Opaque: r.ASCII(1, 8)}
+					}
+				}
+				// Fire the mutated pending intent directly (the tap path).
+				res := m.fireMutated(n.Package, n.ID, idx, mutated)
+				out.Fired++
+				switch res {
+				case wearos.DeliveredCrash:
+					out.Crashes++
+					out.Exceptions++
+				case wearos.DeliveredRejected, wearos.DeliveredHandledException:
+					out.Exceptions++
+				case wearos.BlockedSecurity:
+					out.Security++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fireMutated dispatches a mutated copy of an action's intent.
+func (m *Manager) fireMutated(pkg string, id, actionIdx int, in *intent.Intent) wearos.DeliveryResult {
+	if _, ok := m.active[notifKey{pkg: pkg, id: id}]; !ok {
+		return wearos.BlockedNotFound
+	}
+	return m.dev.StartActivity(in)
+}

@@ -1,0 +1,189 @@
+package notify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/wearos"
+)
+
+func newDev(t *testing.T) *wearos.OS {
+	t.Helper()
+	dev := wearos.New(wearos.DefaultWatchConfig())
+	pkg := &manifest.Package{
+		Name:     "com.notify.app",
+		Category: manifest.NotHealthFitness,
+		Origin:   manifest.ThirdParty,
+		Components: []*manifest.Component{
+			{
+				Name: intent.ComponentName{Package: "com.notify.app", Class: "com.notify.app.ui.Main"},
+				Type: manifest.Activity, Exported: true, MainLauncher: true,
+				Filters: []*manifest.IntentFilter{{
+					Actions:    []string{"android.intent.action.MAIN"},
+					Categories: []string{intent.CategoryLauncher, intent.CategoryDefault},
+				}},
+			},
+		},
+	}
+	if err := dev.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func openIntent(dev *wearos.OS) *intent.Intent {
+	return &intent.Intent{
+		Action:    "android.intent.action.MAIN",
+		Component: intent.ComponentName{Package: "com.notify.app", Class: "com.notify.app.ui.Main"},
+		SenderUID: wearos.UIDAppBase + 5,
+	}
+}
+
+func TestPostAndActive(t *testing.T) {
+	dev := newDev(t)
+	m := NewManager(dev)
+	n := Notification{
+		ID: 7, Package: "com.notify.app", Title: "Hi",
+		Actions: []Action{{Title: "Open", Intent: openIntent(dev)}},
+	}
+	if err := m.Post(n); err != nil {
+		t.Fatal(err)
+	}
+	act := m.Active()
+	if len(act) != 1 || act[0].ID != 7 {
+		t.Fatalf("active = %+v", act)
+	}
+	if !strings.Contains(dev.Logcat().Dump(), "enqueue notification pkg=com.notify.app id=7") {
+		t.Fatal("post not logged")
+	}
+	// Re-posting the same (pkg, id) replaces, not duplicates.
+	n.Title = "Updated"
+	if err := m.Post(n); err != nil {
+		t.Fatal(err)
+	}
+	if act := m.Active(); len(act) != 1 || act[0].Title != "Updated" {
+		t.Fatalf("replacement failed: %+v", act)
+	}
+}
+
+func TestPostValidation(t *testing.T) {
+	dev := newDev(t)
+	m := NewManager(dev)
+	if err := m.Post(Notification{ID: 1, Package: "com.not.installed"}); err == nil {
+		t.Fatal("posted for uninstalled package")
+	}
+	bad := Notification{
+		ID: 2, Package: "com.notify.app",
+		Actions: []Action{{Title: "nil intent"}},
+	}
+	if err := m.Post(bad); err == nil {
+		t.Fatal("posted an action without a pending intent")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	dev := newDev(t)
+	m := NewManager(dev)
+	_ = m.Post(Notification{ID: 1, Package: "com.notify.app"})
+	if !m.Cancel("com.notify.app", 1) {
+		t.Fatal("cancel returned false")
+	}
+	if m.Cancel("com.notify.app", 1) {
+		t.Fatal("double cancel returned true")
+	}
+	if len(m.Active()) != 0 {
+		t.Fatal("notification survived cancel")
+	}
+}
+
+func TestFireAction(t *testing.T) {
+	dev := newDev(t)
+	m := NewManager(dev)
+	_ = m.Post(Notification{
+		ID: 3, Package: "com.notify.app",
+		Actions: []Action{{Title: "Open", Intent: openIntent(dev)}},
+	})
+	res, err := m.Fire("com.notify.app", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != wearos.DeliveredNoEffect {
+		t.Fatalf("fire result = %v", res)
+	}
+	if _, err := m.Fire("com.notify.app", 3, 9); err == nil {
+		t.Fatal("fired out-of-range action")
+	}
+	if _, err := m.Fire("com.notify.app", 99, 0); err == nil {
+		t.Fatal("fired missing notification")
+	}
+}
+
+func TestSeedFromFleet(t *testing.T) {
+	fleet := apps.BuildWearFleet(1)
+	dev := wearos.New(wearos.DefaultWatchConfig())
+	if err := fleet.InstallInto(dev); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(dev)
+	posted := SeedFromFleet(m)
+	if posted != 46 {
+		t.Fatalf("seeded %d notifications, want one per app (46)", posted)
+	}
+	for _, n := range m.Active() {
+		if len(n.Actions) != 2 {
+			t.Fatalf("notification %s has %d actions", n.Package, len(n.Actions))
+		}
+	}
+}
+
+func TestNotificationFuzzModes(t *testing.T) {
+	run := func(mode Mode) FuzzOutcome {
+		fleet := apps.BuildWearFleet(1)
+		dev := wearos.New(wearos.DefaultWatchConfig())
+		if err := fleet.InstallInto(dev); err != nil {
+			t.Fatal(err)
+		}
+		m := NewManager(dev)
+		SeedFromFleet(m)
+		return FuzzActions(m, mode, 1, 3)
+	}
+	sv := run(SemiValid)
+	rd := run(Random)
+	if sv.Fired == 0 || rd.Fired == 0 {
+		t.Fatalf("nothing fired: %+v %+v", sv, rd)
+	}
+	if sv.Fired != rd.Fired {
+		t.Fatalf("modes fired different volumes: %d vs %d", sv.Fired, rd.Fired)
+	}
+	// The launcher components targeted here are the fleet's most robust;
+	// the notification surface must not reboot the device.
+	if sv.Crashes > sv.Fired/50 {
+		t.Fatalf("semi-valid crash rate implausibly high: %+v", sv)
+	}
+	// Random corruption lands on KindRandomAction paths; some exceptions
+	// but, like QGJ-UI, they stay rare.
+	if rd.Exceptions == 0 && sv.Exceptions == 0 {
+		t.Fatal("no exceptions from either mode; mutation is not reaching components")
+	}
+}
+
+func TestFuzzDoesNotMutateStoredIntents(t *testing.T) {
+	dev := newDev(t)
+	m := NewManager(dev)
+	in := openIntent(dev)
+	_ = m.Post(Notification{
+		ID: 1, Package: "com.notify.app",
+		Actions: []Action{{Title: "Open", Intent: in}},
+	})
+	FuzzActions(m, Random, 7, 2)
+	if in.Action != "android.intent.action.MAIN" {
+		t.Fatalf("fuzzing mutated the stored pending intent: %q", in.Action)
+	}
+	got := m.Active()[0].Actions[0].Intent
+	if got.Action != "android.intent.action.MAIN" {
+		t.Fatalf("stored action corrupted: %q", got.Action)
+	}
+}

@@ -1,0 +1,174 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/uifuzz"
+)
+
+// JSON export of the study artifacts, for downstream tooling (plotting,
+// regression dashboards). The schema is stable: field names are part of
+// the contract and covered by tests.
+
+// StudyExport is the serialized form of one campaign study.
+type StudyExport struct {
+	Fleet     string              `json:"fleet"`
+	Seed      uint64              `json:"seed"`
+	Sent      int                 `json:"intentsSent"`
+	Reboots   int                 `json:"reboots"`
+	Campaigns []CampaignExport    `json:"campaigns"`
+	Combined  CombinedExport      `json:"combined"`
+	TableIII  []TableIIIExportRow `json:"tableIII"`
+	TableIV   []TableIVExportRow  `json:"tableIV"`
+	Fig3a     map[string]int      `json:"fig3a"`
+	Fig4      map[string]float64  `json:"fig4CrashAppRate"`
+	Reboot    []string            `json:"rebootComponents"`
+}
+
+// CampaignExport summarizes one campaign.
+type CampaignExport struct {
+	Campaign string `json:"campaign"`
+	Sent     int    `json:"sent"`
+	Crashes  int    `json:"crashEvents"`
+	ANRs     int    `json:"anrEvents"`
+	Security int    `json:"securityEvents"`
+	Reboots  int    `json:"reboots"`
+}
+
+// CombinedExport carries the merged figures' raw series.
+type CombinedExport struct {
+	SecurityShare float64            `json:"securityShare"`
+	Uncaught      []ClassCountExport `json:"uncaughtClasses"`
+	CrashClasses  []ClassCountExport `json:"crashClasses"`
+}
+
+// ClassCountExport is one (class, count) pair.
+type ClassCountExport struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+// TableIIIExportRow serializes one Table III row.
+type TableIIIExportRow struct {
+	Campaign string  `json:"campaign"`
+	Category string  `json:"category"`
+	Reboot   float64 `json:"reboot"`
+	Crash    float64 `json:"crash"`
+	Hang     float64 `json:"hang"`
+	NoEffect float64 `json:"noEffect"`
+}
+
+// TableIVExportRow serializes one Table IV row.
+type TableIVExportRow struct {
+	Class   string  `json:"class"`
+	Crashes int     `json:"crashes"`
+	Share   float64 `json:"share"`
+}
+
+// ExportStudy converts a study result into its export form.
+func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
+	out := StudyExport{
+		Fleet:   sr.Fleet.Kind.String(),
+		Seed:    seed,
+		Sent:    sr.Sent,
+		Reboots: sr.Reboots(),
+		Fig3a:   map[string]int{},
+		Fig4:    map[string]float64{},
+	}
+	for _, c := range sr.Campaigns {
+		out.Campaigns = append(out.Campaigns, CampaignExport{
+			Campaign: c.Campaign.Letter(),
+			Sent:     c.Sent,
+			Crashes:  c.Report.CrashEvents,
+			ANRs:     c.Report.ANREvents,
+			Security: c.Report.SecurityEvents,
+			Reboots:  len(c.Report.RebootTimes),
+		})
+	}
+	out.Combined.SecurityShare = sr.Combined.SecurityShare()
+	for _, cc := range sr.Combined.UncaughtClassDistribution(false) {
+		out.Combined.Uncaught = append(out.Combined.Uncaught,
+			ClassCountExport{Class: string(cc.Class), Count: cc.Count})
+	}
+	for _, cc := range sr.Combined.CrashClassTotals() {
+		out.Combined.CrashClasses = append(out.Combined.CrashClasses,
+			ClassCountExport{Class: string(cc.Class), Count: cc.Count})
+	}
+	for _, row := range experiments.TableIII(sr) {
+		out.TableIII = append(out.TableIII,
+			TableIIIExportRow{
+				Campaign: row.Campaign.Letter(), Category: "Health/Fitness",
+				Reboot: row.Health.Reboot, Crash: row.Health.Crash,
+				Hang: row.Health.Hang, NoEffect: row.Health.NoEffect,
+			},
+			TableIIIExportRow{
+				Campaign: row.Campaign.Letter(), Category: "Not Health/Fitness",
+				Reboot: row.NotHealth.Reboot, Crash: row.NotHealth.Crash,
+				Hang: row.NotHealth.Hang, NoEffect: row.NotHealth.NoEffect,
+			})
+	}
+	rows, others, _ := experiments.TableIV(sr)
+	for _, r := range rows {
+		out.TableIV = append(out.TableIV,
+			TableIVExportRow{Class: string(r.Class), Crashes: r.Crashes, Share: r.Share})
+	}
+	if others.Crashes > 0 {
+		out.TableIV = append(out.TableIV,
+			TableIVExportRow{Class: "Others", Crashes: others.Crashes, Share: others.Share})
+	}
+	for m, n := range experiments.Fig3a(sr) {
+		out.Fig3a[m.String()] = n
+	}
+	for origin, rate := range experiments.Fig4(sr).CrashAppRate {
+		out.Fig4[origin.String()] = rate
+	}
+	for _, cn := range experiments.RebootComponents(sr) {
+		out.Reboot = append(out.Reboot, cn.FlattenToString())
+	}
+	return out
+}
+
+// UIExport serializes a QGJ-UI study.
+type UIExport struct {
+	Rows []UIExportRow `json:"rows"`
+}
+
+// UIExportRow is one Table V row.
+type UIExportRow struct {
+	Experiment    string  `json:"experiment"`
+	Injected      int     `json:"injectedEvents"`
+	Exceptions    int     `json:"exceptionsRaised"`
+	ExceptionRate float64 `json:"exceptionRate"`
+	Crashes       int     `json:"crashes"`
+	CrashRate     float64 `json:"crashRate"`
+	SystemCrashes int     `json:"systemCrashes"`
+}
+
+// ExportUI converts a UI study into its export form.
+func ExportUI(res *experiments.UIStudyResult) UIExport {
+	row := func(o uifuzz.Outcome) UIExportRow {
+		return UIExportRow{
+			Experiment:    o.Mode.String(),
+			Injected:      o.Injected,
+			Exceptions:    o.ExceptionsRaised,
+			ExceptionRate: o.ExceptionRate(),
+			Crashes:       o.Crashes,
+			CrashRate:     o.CrashRate(),
+			SystemCrashes: o.SystemCrashes,
+		}
+	}
+	return UIExport{Rows: []UIExportRow{row(res.SemiValid), row(res.Random)}}
+}
+
+// WriteJSON streams v as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encode report JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package sensors models the wearable's sensor stack: the native
+// SensorService process (libsensorservice.so), the SensorManager framework
+// API apps use, and synthetic sensor hardware (heart rate, step counter,
+// accelerometer).
+//
+// The stack matters to the reproduction because the paper's first device
+// reboot originated here: a health app that talks to the heart-rate sensor
+// through SensorManager went unresponsive under a sequence of malformed
+// intents, the system SIGABRT-ed the SensorService process, and the loss of
+// that core service left the OS unstable enough to reboot (Section IV-B).
+package sensors
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/javalang"
+	"repro/internal/logcat"
+)
+
+// Type enumerates the hardware/software sensors the simulated watch
+// carries.
+type Type int
+
+const (
+	HeartRate Type = iota + 1
+	StepCounter
+	Accelerometer
+	Gyroscope
+	AmbientLight
+	OffBodyDetect
+)
+
+// String returns the Android sensor name string.
+func (t Type) String() string {
+	switch t {
+	case HeartRate:
+		return "android.sensor.heart_rate"
+	case StepCounter:
+		return "android.sensor.step_counter"
+	case Accelerometer:
+		return "android.sensor.accelerometer"
+	case Gyroscope:
+		return "android.sensor.gyroscope"
+	case AmbientLight:
+		return "android.sensor.light"
+	case OffBodyDetect:
+		return "android.sensor.low_latency_offbody_detect"
+	}
+	return "android.sensor.unknown"
+}
+
+// AllTypes lists every sensor on the simulated device.
+var AllTypes = []Type{HeartRate, StepCounter, Accelerometer, Gyroscope, AmbientLight, OffBodyDetect}
+
+// ServiceState is the lifecycle state of the native SensorService process.
+type ServiceState int
+
+const (
+	ServiceRunning ServiceState = iota + 1
+	ServiceAborted              // killed by SIGABRT, not yet restarted
+)
+
+// Service is the native sensor service. It owns listener registrations and
+// is a single point of failure: when it dies, every registered client loses
+// sensor access and the system becomes unstable.
+type Service struct {
+	mu        sync.Mutex
+	state     ServiceState
+	pid       int
+	listeners map[string][]Type // client process name -> registered sensors
+	log       *logcat.Logger
+	// onAbort notifies the system server that a core native service died;
+	// wired by the OS at boot.
+	onAbort func(signal string)
+}
+
+// NewService returns a running sensor service with the given native PID.
+func NewService(pid int, log *logcat.Logger) *Service {
+	return &Service{
+		state:     ServiceRunning,
+		pid:       pid,
+		listeners: make(map[string][]Type),
+		log:       log,
+	}
+}
+
+// PID returns the native process id of the service.
+func (s *Service) PID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pid
+}
+
+// State returns the current lifecycle state.
+func (s *Service) State() ServiceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// OnAbort registers the system-server callback fired when the service is
+// killed by a signal.
+func (s *Service) OnAbort(fn func(signal string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onAbort = fn
+}
+
+// Register adds a listener for client on the sensor. It fails with
+// DeadObjectException when the service is down.
+func (s *Service) Register(client string, t Type) *javalang.Throwable {
+	s.mu.Lock()
+	if s.state != ServiceRunning {
+		s.mu.Unlock()
+		return javalang.Newf(javalang.ClassDeadObject, "sensorservice dead; cannot register %s", t)
+	}
+	s.listeners[client] = append(s.listeners[client], t)
+	s.mu.Unlock()
+	s.log.Log(s.pid, s.pid, logcat.Debug, logcat.TagSensorService,
+		"registering listener for %s (client=%s)", t, client)
+	return nil
+}
+
+// Unregister removes all listeners for client.
+func (s *Service) Unregister(client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, client)
+}
+
+// Listeners returns how many sensors the client has registered.
+func (s *Service) Listeners(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.listeners[client])
+}
+
+// Read samples the sensor for client. Reading through a dead service or
+// without a registration fails the way the framework does.
+func (s *Service) Read(client string, t Type) (float64, *javalang.Throwable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != ServiceRunning {
+		return 0, javalang.Newf(javalang.ClassDeadObject, "sensorservice dead; cannot read %s", t)
+	}
+	regs := s.listeners[client]
+	found := false
+	for _, r := range regs {
+		if r == t {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, javalang.Newf(javalang.ClassIllegalState,
+			"no listener registered for %s (client=%s)", t, client)
+	}
+	// Synthetic but plausible readings; values are irrelevant to the study.
+	switch t {
+	case HeartRate:
+		return 72, nil
+	case StepCounter:
+		return 4211, nil
+	case AmbientLight:
+		return 180, nil
+	default:
+		return 0.5, nil
+	}
+}
+
+// Abort kills the service with the given signal (the system sends SIGABRT
+// when a client wedges the service, per the paper's post-mortem). The
+// system-server callback is invoked after logging the native crash dump.
+func (s *Service) Abort(signal string) {
+	s.mu.Lock()
+	if s.state == ServiceAborted {
+		s.mu.Unlock()
+		return
+	}
+	s.state = ServiceAborted
+	pid := s.pid
+	cb := s.onAbort
+	s.mu.Unlock()
+
+	s.log.Log(pid, pid, logcat.Info, logcat.TagDEBUG,
+		"Fatal signal %s in tid %d (sensorservice), process /system/lib/libsensorservice.so", signal, pid)
+	s.log.Log(pid, pid, logcat.Error, logcat.TagSensorService,
+		"sensorservice terminated by signal %s", signal)
+	if cb != nil {
+		cb(signal)
+	}
+}
+
+// Restart brings the service back after a reboot, with a new PID.
+func (s *Service) Restart(pid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = ServiceRunning
+	s.pid = pid
+	s.listeners = make(map[string][]Type)
+}
+
+// Manager is the framework-side SensorManager bound to one client app
+// process. Health apps that bypass Google Fit use it directly.
+type Manager struct {
+	client string
+	svc    *Service
+}
+
+// NewManager returns a SensorManager for the named client process.
+func NewManager(client string, svc *Service) *Manager {
+	return &Manager{client: client, svc: svc}
+}
+
+// RegisterListener registers the client for sensor t.
+func (m *Manager) RegisterListener(t Type) *javalang.Throwable {
+	return m.svc.Register(m.client, t)
+}
+
+// ReadSample reads one value from sensor t.
+func (m *Manager) ReadSample(t Type) (float64, *javalang.Throwable) {
+	return m.svc.Read(m.client, t)
+}
+
+// UnregisterAll drops the client's registrations.
+func (m *Manager) UnregisterAll() { m.svc.Unregister(m.client) }
+
+// String implements fmt.Stringer for diagnostics.
+func (m *Manager) String() string {
+	return fmt.Sprintf("SensorManager(client=%s)", m.client)
+}

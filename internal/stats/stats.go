@@ -1,0 +1,163 @@
+// Package stats provides the small distribution-comparison toolkit the
+// reproduction uses to quantify how close a measured distribution is to
+// the paper's published one: total variation distance for categorical
+// distributions (exception-class shares, manifestation shares) and
+// rank-agreement for orderings ("NPE first, CNFE second"). The experiment
+// tests use these instead of ad-hoc per-class bands where a single summary
+// number is clearer.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist is a categorical distribution: label -> mass. It need not be
+// normalized; every operation normalizes internally.
+type Dist map[string]float64
+
+// normalize returns the distribution scaled to sum 1 (nil if empty/zero).
+func (d Dist) normalize() Dist {
+	var total float64
+	for _, v := range d {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(Dist, len(d))
+	for k, v := range d {
+		if v > 0 {
+			out[k] = v / total
+		}
+	}
+	return out
+}
+
+// TotalVariation returns the total variation distance between p and q in
+// [0, 1]: half the L1 distance between the normalized distributions. 0
+// means identical; 1 means disjoint support.
+func TotalVariation(p, q Dist) float64 {
+	pn, qn := p.normalize(), q.normalize()
+	keys := map[string]bool{}
+	for k := range pn {
+		keys[k] = true
+	}
+	for k := range qn {
+		keys[k] = true
+	}
+	var sum float64
+	for k := range keys {
+		sum += math.Abs(pn[k] - qn[k])
+	}
+	return sum / 2
+}
+
+// Ranking returns the labels of d ordered by descending mass (ties broken
+// lexicographically for determinism).
+func Ranking(d Dist) []string {
+	type kv struct {
+		k string
+		v float64
+	}
+	pairs := make([]kv, 0, len(d))
+	for k, v := range d {
+		pairs = append(pairs, kv{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v > pairs[j].v
+		}
+		return pairs[i].k < pairs[j].k
+	})
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.k
+	}
+	return out
+}
+
+// TopKAgreement reports the fraction of the reference distribution's top-k
+// labels that also appear in the measured distribution's top-k — the
+// "same leaders" check for figures where ordering is the claim.
+func TopKAgreement(reference, measured Dist, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	ref, got := Ranking(reference), Ranking(measured)
+	if len(ref) < k {
+		k = len(ref)
+	}
+	if k == 0 {
+		return 0
+	}
+	inGot := map[string]bool{}
+	for i := 0; i < k && i < len(got); i++ {
+		inGot[got[i]] = true
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if inGot[ref[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// SpearmanFootrule computes the normalized Spearman footrule distance
+// between the orderings of the two distributions over their shared labels:
+// 0 = identical order, 1 = maximally displaced. Labels missing from either
+// side are ignored.
+func SpearmanFootrule(p, q Dist) float64 {
+	rp := rankIndex(Ranking(p))
+	rq := rankIndex(Ranking(q))
+	var shared []string
+	for k := range rp {
+		if _, ok := rq[k]; ok {
+			shared = append(shared, k)
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return 0
+	}
+	// Re-rank within the shared label set.
+	sort.Slice(shared, func(i, j int) bool { return rp[shared[i]] < rp[shared[j]] })
+	posP := map[string]int{}
+	for i, k := range shared {
+		posP[k] = i
+	}
+	sort.Slice(shared, func(i, j int) bool { return rq[shared[i]] < rq[shared[j]] })
+	var sum, worst float64
+	for i, k := range shared {
+		sum += math.Abs(float64(posP[k] - i))
+	}
+	// Maximum footrule distance is n^2/2 for even n, (n^2-1)/2 for odd.
+	worst = float64(n*n) / 2
+	if n%2 == 1 {
+		worst = float64(n*n-1) / 2
+	}
+	if worst == 0 {
+		return 0
+	}
+	return sum / worst
+}
+
+func rankIndex(order []string) map[string]int {
+	out := make(map[string]int, len(order))
+	for i, k := range order {
+		out[k] = i
+	}
+	return out
+}
+
+// FromCounts builds a Dist from integer counts.
+func FromCounts(counts map[string]int) Dist {
+	out := make(Dist, len(counts))
+	for k, v := range counts {
+		out[k] = float64(v)
+	}
+	return out
+}

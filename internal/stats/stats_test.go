@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalVariationBasics(t *testing.T) {
+	p := Dist{"a": 0.5, "b": 0.5}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Fatalf("TV(p,p) = %v", got)
+	}
+	q := Dist{"c": 1}
+	if got := TotalVariation(p, q); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TV(disjoint) = %v", got)
+	}
+	r := Dist{"a": 1}
+	if got := TotalVariation(p, r); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TV = %v, want 0.5", got)
+	}
+}
+
+func TestTotalVariationNormalizes(t *testing.T) {
+	p := Dist{"a": 2, "b": 2} // = {0.5, 0.5}
+	q := Dist{"a": 50, "b": 50}
+	if got := TotalVariation(p, q); got != 0 {
+		t.Fatalf("TV of proportional dists = %v", got)
+	}
+	// Negative and zero masses are ignored.
+	r := Dist{"a": 1, "junk": -5, "zero": 0}
+	if got := TotalVariation(r, Dist{"a": 3}); got != 0 {
+		t.Fatalf("TV with junk mass = %v", got)
+	}
+}
+
+// Property: TV is symmetric and within [0, 1].
+func TestQuickTotalVariationProperties(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := Dist{"x": float64(a), "y": float64(b)}
+		q := Dist{"x": float64(c), "y": float64(d)}
+		tv := TotalVariation(p, q)
+		if tv < 0 || tv > 1 {
+			return false
+		}
+		return math.Abs(tv-TotalVariation(q, p)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanking(t *testing.T) {
+	d := Dist{"npe": 0.31, "cnfe": 0.26, "iae": 0.18, "ise": 0.06}
+	got := Ranking(d)
+	want := []string{"npe", "cnfe", "iae", "ise"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranking = %v", got)
+		}
+	}
+	// Ties break lexicographically.
+	tie := Ranking(Dist{"b": 1, "a": 1})
+	if tie[0] != "a" || tie[1] != "b" {
+		t.Fatalf("tie ranking = %v", tie)
+	}
+}
+
+func TestTopKAgreement(t *testing.T) {
+	ref := Dist{"npe": 0.31, "cnfe": 0.26, "iae": 0.18, "ise": 0.06}
+	same := Dist{"npe": 0.35, "cnfe": 0.30, "iae": 0.20, "ise": 0.05}
+	if got := TopKAgreement(ref, same, 3); got != 1 {
+		t.Fatalf("agreement = %v", got)
+	}
+	shuffled := Dist{"ise": 0.5, "iae": 0.3, "other": 0.2}
+	got := TopKAgreement(ref, shuffled, 2)
+	if got != 0.5 { // of {npe, cnfe}, neither in top-2 {ise, iae}... iae is
+		// ref top-2 = {npe, cnfe}; shuffled top-2 = {ise, iae} -> 0 hits.
+		if got != 0 {
+			t.Fatalf("agreement = %v", got)
+		}
+	}
+	if TopKAgreement(ref, same, 0) != 0 {
+		t.Fatal("k=0 should be 0")
+	}
+}
+
+func TestSpearmanFootrule(t *testing.T) {
+	p := Dist{"a": 4, "b": 3, "c": 2, "d": 1}
+	if got := SpearmanFootrule(p, p); got != 0 {
+		t.Fatalf("footrule(p,p) = %v", got)
+	}
+	rev := Dist{"a": 1, "b": 2, "c": 3, "d": 4}
+	if got := SpearmanFootrule(p, rev); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("footrule(reversed) = %v, want 1", got)
+	}
+	// Disjoint supports have no shared labels: distance 0 by convention.
+	if got := SpearmanFootrule(p, Dist{"x": 1, "y": 2}); got != 0 {
+		t.Fatalf("footrule(disjoint) = %v", got)
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	d := FromCounts(map[string]int{"a": 3, "b": 1})
+	if d["a"] != 3 || d["b"] != 1 {
+		t.Fatalf("FromCounts = %v", d)
+	}
+}

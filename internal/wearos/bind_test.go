@@ -1,0 +1,123 @@
+package wearos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+)
+
+func TestBindServiceAndTransact(t *testing.T) {
+	o := testDevice(t)
+	target := cn("com.test.app", "Worker")
+	o.RegisterBindHandler(target, func(code int, data any) (any, *javalang.Throwable) {
+		if code == 1 {
+			return "pong", nil
+		}
+		return nil, javalang.New(javalang.ClassUnsupportedOperation, "unknown code")
+	})
+	conn, thr := o.BindService(explicit(target, ""))
+	if thr != nil {
+		t.Fatal(thr)
+	}
+	if conn.Component() != target {
+		t.Fatalf("bound component = %v", conn.Component())
+	}
+	reply, thr := conn.Transact(1, nil)
+	if thr != nil || reply != "pong" {
+		t.Fatalf("transact = %v, %v", reply, thr)
+	}
+	if _, thr := conn.Transact(2, nil); thr == nil || thr.Class != javalang.ClassUnsupportedOperation {
+		t.Fatalf("unknown code: %v", thr)
+	}
+}
+
+func TestBindServiceDefaultEcho(t *testing.T) {
+	o := testDevice(t)
+	conn, thr := o.BindService(explicit(cn("com.test.app", "Worker"), ""))
+	if thr != nil {
+		t.Fatal(thr)
+	}
+	reply, thr := conn.Transact(0, "hello")
+	if thr != nil || reply != "hello" {
+		t.Fatalf("echo = %v, %v", reply, thr)
+	}
+}
+
+func TestBindServiceChecks(t *testing.T) {
+	o := testDevice(t)
+	// Unknown service.
+	if _, thr := o.BindService(explicit(cn("com.test.app", "Nope"), "")); thr == nil {
+		t.Fatal("bound unknown service")
+	}
+	// Non-exported service.
+	if _, thr := o.BindService(explicit(cn("com.test.app", "Private"), "")); thr == nil ||
+		thr.Class != javalang.ClassSecurity {
+		t.Fatalf("non-exported bind: %v", thr)
+	}
+	// Protected action.
+	in := explicit(cn("com.test.app", "Worker"), "android.intent.action.BATTERY_LOW")
+	if _, thr := o.BindService(in); thr == nil || thr.Class != javalang.ClassSecurity {
+		t.Fatalf("protected bind: %v", thr)
+	}
+}
+
+func TestBindDeathNotification(t *testing.T) {
+	o := testDevice(t)
+	worker := cn("com.test.app", "Worker")
+	conn, thr := o.BindService(explicit(worker, ""))
+	if thr != nil {
+		t.Fatal(thr)
+	}
+	died := false
+	if err := conn.OnDeath(func() { died = true }); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the process through the activity path.
+	main := cn("com.test.app", "MainActivity")
+	o.RegisterHandler(main, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{Thrown: javalang.New(javalang.ClassNullPointer, "x")}
+	}, ComponentTraits{})
+	if got := o.StartActivity(explicit(main, "android.intent.action.VIEW")); got != DeliveredCrash {
+		t.Fatalf("crash delivery = %v", got)
+	}
+	if !died {
+		t.Fatal("death notification did not fire")
+	}
+	// Transactions now fail with DeadObjectException.
+	if _, thr := conn.Transact(0, nil); thr == nil || thr.Class != javalang.ClassDeadObject {
+		t.Fatalf("post-death transact: %v", thr)
+	}
+}
+
+func TestConnectionClose(t *testing.T) {
+	o := testDevice(t)
+	conn, thr := o.BindService(explicit(cn("com.test.app", "Worker"), ""))
+	if thr != nil {
+		t.Fatal(thr)
+	}
+	conn.Close()
+	if _, thr := conn.Transact(0, nil); thr == nil || thr.Class != javalang.ClassIllegalState {
+		t.Fatalf("closed transact: %v", thr)
+	}
+}
+
+func TestBindSurvivesANRButNotReboot(t *testing.T) {
+	o := testDevice(t)
+	worker := cn("com.test.app", "Worker")
+	conn, thr := o.BindService(explicit(worker, ""))
+	if thr != nil {
+		t.Fatal(thr)
+	}
+	// An ANR does not kill the process; the binding stays live.
+	o.RegisterHandler(worker, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{BusyFor: 10 * time.Second}
+	}, ComponentTraits{})
+	if got := o.StartService(explicit(worker, "")); got != DeliveredANR {
+		t.Fatalf("ANR delivery = %v", got)
+	}
+	if _, thr := conn.Transact(0, nil); thr != nil {
+		t.Fatalf("binding died on ANR: %v", thr)
+	}
+}

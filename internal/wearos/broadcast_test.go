@@ -1,0 +1,123 @@
+package wearos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+	"repro/internal/manifest"
+)
+
+// receiverDevice builds an OS with one app carrying broadcast receivers.
+func receiverDevice(t *testing.T) *OS {
+	t.Helper()
+	o := New(DefaultWatchConfig())
+	pkg := &manifest.Package{
+		Name:     "com.bcast.app",
+		Category: manifest.NotHealthFitness,
+		Origin:   manifest.ThirdParty,
+		Components: []*manifest.Component{
+			{
+				Name: cn("com.bcast.app", "NetReceiver"), Type: manifest.Receiver, Exported: true,
+				Filters: []*manifest.IntentFilter{{
+					Actions: []string{"android.net.conn.CONNECTIVITY_CHANGE"},
+				}},
+			},
+			{
+				Name: cn("com.bcast.app", "PictureReceiver"), Type: manifest.Receiver, Exported: true,
+				Filters: []*manifest.IntentFilter{{
+					Actions: []string{"com.bcast.app.CUSTOM_EVENT"},
+				}},
+			},
+			{Name: cn("com.bcast.app", "Hidden"), Type: manifest.Receiver, Exported: false},
+		},
+	}
+	if err := o.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func bcast(action string, uid int) *intent.Intent {
+	return &intent.Intent{Action: action, SenderUID: uid}
+}
+
+func TestExplicitBroadcastDelivery(t *testing.T) {
+	o := receiverDevice(t)
+	in := bcast("com.bcast.app.CUSTOM_EVENT", UIDAppBase+100)
+	in.Component = cn("com.bcast.app", "PictureReceiver")
+	res := o.SendBroadcast(in)
+	if res.Delivered != 1 || res.Worst != DeliveredNoEffect {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(o.Logcat().Dump(), "Delivering to receiver") {
+		t.Fatal("delivery log missing")
+	}
+}
+
+func TestImplicitBroadcastFanout(t *testing.T) {
+	o := receiverDevice(t)
+	res := o.SendBroadcast(bcast("android.net.conn.CONNECTIVITY_CHANGE", UIDAppBase+100))
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the matching exported receiver)", res.Delivered)
+	}
+}
+
+func TestProtectedBroadcastBlocked(t *testing.T) {
+	o := receiverDevice(t)
+	// BATTERY_LOW is a protected broadcast: blocked from apps, allowed
+	// from the system (the paper's "specified and secure behavior").
+	res := o.SendBroadcast(bcast("android.intent.action.BATTERY_LOW", UIDAppBase+100))
+	if res.Worst != BlockedSecurity || res.Delivered != 0 {
+		t.Fatalf("app sender: %+v", res)
+	}
+	sys := o.SendBroadcast(bcast("android.intent.action.BATTERY_LOW", UIDSystem))
+	if sys.Worst == BlockedSecurity {
+		t.Fatalf("system sender blocked: %+v", sys)
+	}
+}
+
+func TestBroadcastToUnknownReceiver(t *testing.T) {
+	o := receiverDevice(t)
+	in := bcast("x", UIDAppBase+100)
+	in.Component = cn("com.bcast.app", "Missing")
+	if res := o.SendBroadcast(in); res.Worst != BlockedNotFound {
+		t.Fatalf("result = %+v", res)
+	}
+	// Implicit with no match.
+	if res := o.SendBroadcast(bcast("com.unmatched.ACTION", UIDAppBase+100)); res.Worst != BlockedNotFound {
+		t.Fatalf("unmatched implicit = %+v", res)
+	}
+}
+
+func TestBroadcastReceiverCrash(t *testing.T) {
+	o := receiverDevice(t)
+	target := cn("com.bcast.app", "PictureReceiver")
+	o.RegisterHandler(target, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{Thrown: javalang.New(javalang.ClassNullPointer, "null in onReceive")}
+	}, ComponentTraits{})
+	in := bcast("com.bcast.app.CUSTOM_EVENT", UIDAppBase+100)
+	in.Component = target
+	res := o.SendBroadcast(in)
+	if res.Worst != DeliveredCrash {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(o.Logcat().Dump(), "FATAL EXCEPTION") {
+		t.Fatal("receiver crash not logged")
+	}
+}
+
+func TestBroadcastSeverityOrdering(t *testing.T) {
+	var r BroadcastResult
+	r.worsen(DeliveredNoEffect)
+	r.worsen(DeliveredCrash)
+	r.worsen(DeliveredHandledException)
+	if r.Worst != DeliveredCrash {
+		t.Fatalf("Worst = %v", r.Worst)
+	}
+	r.worsen(DeviceRebooted)
+	if r.Worst != DeviceRebooted {
+		t.Fatalf("Worst = %v", r.Worst)
+	}
+}

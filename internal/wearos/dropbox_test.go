@@ -1,0 +1,92 @@
+package wearos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+)
+
+func TestDropBoxRecordsCrash(t *testing.T) {
+	o := testDevice(t)
+	target := cn("com.test.app", "MainActivity")
+	o.RegisterHandler(target, func(env *Env, in *intent.Intent) Outcome {
+		root := javalang.New(javalang.ClassNullPointer, "npe")
+		return Outcome{Thrown: javalang.New(javalang.ClassRuntime, "wrap").WithCause(root)}
+	}, ComponentTraits{})
+	o.StartActivity(explicit(target, "android.intent.action.VIEW"))
+
+	entries := o.DropBoxEntries(TagAppCrash)
+	if len(entries) != 1 {
+		t.Fatalf("crash entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Process != "com.test.app" || e.Component != target {
+		t.Fatalf("entry = %+v", e)
+	}
+	// DropBox records the *root cause*, like the temporal-chain analysis.
+	if e.ExceptionClass != javalang.ClassNullPointer {
+		t.Fatalf("exception class = %s", e.ExceptionClass)
+	}
+}
+
+func TestDropBoxRecordsANR(t *testing.T) {
+	o := testDevice(t)
+	target := cn("com.test.app", "Worker")
+	o.RegisterHandler(target, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{
+			BusyFor: 10 * time.Second,
+			Thrown:  javalang.New(javalang.ClassDeadObject, "binder"),
+		}
+	}, ComponentTraits{})
+	o.StartService(explicit(target, ""))
+
+	entries := o.DropBoxEntries(TagAppANR)
+	if len(entries) != 1 {
+		t.Fatalf("ANR entries = %d", len(entries))
+	}
+	if entries[0].ExceptionClass != javalang.ClassDeadObject {
+		t.Fatalf("ANR exception class = %s", entries[0].ExceptionClass)
+	}
+}
+
+func TestDropBoxRecordsReboot(t *testing.T) {
+	o := testDevice(t)
+	target := cn("com.test.app", "MainActivity")
+	o.RegisterHandler(target, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{BusyFor: 10 * time.Second}
+	}, ComponentTraits{UsesSensorManager: true})
+	for i := 0; i < DefaultAgingConfig().SensorClientANRLimit; i++ {
+		o.StartActivity(explicit(target, "android.intent.action.VIEW"))
+	}
+	if o.BootCount() != 2 {
+		t.Fatal("device did not reboot")
+	}
+	restarts := o.DropBoxEntries(TagSystemRestart)
+	if len(restarts) != 1 {
+		t.Fatalf("restart entries = %d", len(restarts))
+	}
+	// DropBox persists across the reboot (unlike process state).
+	if anrs := o.DropBoxEntries(TagAppANR); len(anrs) == 0 {
+		t.Fatal("ANR records lost across reboot")
+	}
+	// Unfiltered query returns everything.
+	if all := o.DropBoxEntries(""); len(all) < 4 {
+		t.Fatalf("all entries = %d", len(all))
+	}
+}
+
+func TestDropBoxEviction(t *testing.T) {
+	d := newDropBox()
+	d.limit = 3
+	for i := 0; i < 5; i++ {
+		d.add(DropBoxEntry{Detail: string(rune('a' + i))})
+	}
+	if len(d.entries) != 3 {
+		t.Fatalf("entries = %d", len(d.entries))
+	}
+	if d.entries[0].Detail != "c" {
+		t.Fatalf("oldest retained = %q", d.entries[0].Detail)
+	}
+}

@@ -1,0 +1,504 @@
+package wearos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/intent"
+	"repro/internal/javalang"
+	"repro/internal/logcat"
+	"repro/internal/manifest"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// Config describes one simulated device.
+type Config struct {
+	// DeviceName appears in boot logs (e.g. "moto360", "nexus6",
+	// "wear-emulator").
+	DeviceName string
+	// OSVersion appears in boot logs (e.g. "Android Wear 2.0", "Android 7.1.1").
+	OSVersion string
+	// ANRThreshold is how long the main looper may stay busy before the
+	// watchdog declares an ANR. Android uses 5 s for input dispatch.
+	ANRThreshold time.Duration
+	// LogCapacity bounds the logcat ring buffer (0 = default).
+	LogCapacity int
+	// Aging parameterizes the system-server aging model.
+	Aging AgingConfig
+}
+
+// DefaultWatchConfig returns the Moto 360 / Android Wear 2.0 configuration
+// used in the paper's QGJ-Master experiments.
+func DefaultWatchConfig() Config {
+	return Config{
+		DeviceName:   "moto360",
+		OSVersion:    "Android Wear 2.0",
+		ANRThreshold: 5 * time.Second,
+		Aging:        DefaultAgingConfig(),
+	}
+}
+
+// DefaultPhoneConfig returns the Nexus 6 / Android 7.1.1 configuration used
+// for the phone-comparison experiment (Table IV).
+func DefaultPhoneConfig() Config {
+	return Config{
+		DeviceName:   "nexus6",
+		OSVersion:    "Android 7.1.1",
+		ANRThreshold: 5 * time.Second,
+		Aging:        DefaultAgingConfig(),
+	}
+}
+
+// DefaultEmulatorConfig returns the Android Watch emulator (API 25)
+// configuration used in the QGJ-UI experiments.
+func DefaultEmulatorConfig() Config {
+	return Config{
+		DeviceName:   "wear-emulator",
+		OSVersion:    "Android 7.1.1 (API 25)",
+		ANRThreshold: 5 * time.Second,
+		Aging:        DefaultAgingConfig(),
+	}
+}
+
+// Outcome is what a component handler reports back to the dispatcher after
+// processing an intent. Handlers come from the synthetic app fleet.
+type Outcome struct {
+	// Thrown is the exception raised while handling the intent (nil when
+	// handling was clean).
+	Thrown *javalang.Throwable
+	// Caught marks the exception as handled inside the app (logged, no
+	// crash).
+	Caught bool
+	// Rejected marks the exception as thrown back across the IPC boundary
+	// to the caller instead of crashing the component: the component (or
+	// the framework on its behalf) validated the intent and refused it.
+	// This is how the paper observes large numbers of
+	// IllegalArgumentExceptions that do not crash anything: the exception
+	// is uncaught by the *target* but absorbed by the *sender* (QGJ).
+	Rejected bool
+	// BusyFor occupies the process main looper for the given duration;
+	// exceeding the ANR threshold produces an ANR.
+	BusyFor time.Duration
+}
+
+// Handler executes a component's reaction to a delivered intent. Env gives
+// the handler access to its process identity and the device clock.
+type Handler func(env *Env, in *intent.Intent) Outcome
+
+// Env is the execution environment the dispatcher hands to a component
+// handler.
+type Env struct {
+	PID   int
+	Clock vclock.Clock
+	Log   *logcat.Logger
+}
+
+// DeliveryResult classifies what the dispatcher observed for one intent.
+// This is QGJ's *summary* view; the study's ground truth comes from parsing
+// logcat, like the paper.
+type DeliveryResult int
+
+const (
+	// DeliveredNoEffect: handled without any visible failure.
+	DeliveredNoEffect DeliveryResult = iota + 1
+	// DeliveredHandledException: an exception was raised but caught by the
+	// app.
+	DeliveredHandledException
+	// DeliveredRejected: the component threw a validation exception back to
+	// the caller; no crash, intent refused.
+	DeliveredRejected
+	// DeliveredCrash: uncaught exception; process died (FATAL EXCEPTION).
+	DeliveredCrash
+	// DeliveredANR: the component wedged the main looper past the ANR
+	// threshold.
+	DeliveredANR
+	// BlockedSecurity: the OS rejected the intent with a SecurityException.
+	BlockedSecurity
+	// BlockedNotFound: no such component (ActivityNotFoundException or
+	// service resolution failure).
+	BlockedNotFound
+	// DeviceRebooted: delivering this intent pushed the device over the
+	// instability threshold and it rebooted.
+	DeviceRebooted
+)
+
+// String names the delivery result.
+func (r DeliveryResult) String() string {
+	switch r {
+	case DeliveredNoEffect:
+		return "no-effect"
+	case DeliveredHandledException:
+		return "handled-exception"
+	case DeliveredRejected:
+		return "rejected"
+	case DeliveredCrash:
+		return "crash"
+	case DeliveredANR:
+		return "anr"
+	case BlockedSecurity:
+		return "security-blocked"
+	case BlockedNotFound:
+		return "not-found"
+	case DeviceRebooted:
+		return "reboot"
+	default:
+		return "unknown"
+	}
+}
+
+// ComponentTraits carries per-component facts the OS needs for its failure
+// escalation paths; the fleet builder registers them alongside handlers.
+type ComponentTraits struct {
+	// UsesSensorManager marks components whose process holds SensorManager
+	// registrations (post-mortem #1 escalation).
+	UsesSensorManager bool
+	// AmbientBound marks components that bind the Ambient Service when they
+	// start (post-mortem #2 escalation).
+	AmbientBound bool
+}
+
+// OS is one simulated device's operating system. Not safe for concurrent
+// use; the simulation is single-threaded by design (see package comment).
+type OS struct {
+	cfg    Config
+	clock  *vclock.Virtual
+	buf    *logcat.Buffer
+	log    *logcat.Logger
+	reg    *manifest.Registry
+	perms  *manifest.PermissionRegistry
+	router *binder.Router
+	procs  *processTable
+	sysSrv *SystemServer
+	sensor *sensors.Service
+
+	handlers     map[intent.ComponentName]Handler
+	traits       map[intent.ComponentName]ComponentTraits
+	bindHandlers map[intent.ComponentName]BindHandler
+
+	bootCount   int
+	bootTime    time.Time
+	rebootLog   []time.Time
+	lastDeliver map[int]intent.ComponentName // pid -> last component delivered
+	dropbox     *dropBox
+}
+
+// New boots a simulated device with the given configuration.
+func New(cfg Config) *OS {
+	clock := vclock.NewVirtual(time.Time{})
+	buf := logcat.NewBuffer(cfg.LogCapacity)
+	log := logcat.NewLogger(buf, clock.Now)
+	if cfg.ANRThreshold <= 0 {
+		cfg.ANRThreshold = 5 * time.Second
+	}
+	o := &OS{
+		cfg:          cfg,
+		clock:        clock,
+		buf:          buf,
+		log:          log,
+		reg:          manifest.NewRegistry(),
+		perms:        manifest.NewPermissionRegistry(manifest.StandardPermissions...),
+		router:       binder.NewRouter(),
+		procs:        newProcessTable(2000),
+		handlers:     make(map[intent.ComponentName]Handler),
+		traits:       make(map[intent.ComponentName]ComponentTraits),
+		bindHandlers: make(map[intent.ComponentName]BindHandler),
+		lastDeliver:  make(map[int]intent.ComponentName),
+		dropbox:      newDropBox(),
+	}
+	o.sysSrv = newSystemServer(cfg.Aging, clock.Now, log)
+	o.sysSrv.requestReboot = o.reboot
+	o.sensor = sensors.NewService(o.procs.allocPID(), log)
+	o.sensor.OnAbort(func(sig string) {
+		o.sysSrv.RecordCoreServiceDown("sensorservice", sig)
+	})
+	o.sysSrv.abortSensorService = func() { o.sensor.Abort(javalang.SIGABRT) }
+	o.sysSrv.restartProcess = func(proc string) {
+		if p := o.procs.kill(proc); p != nil {
+			o.router.SetAlive(p.PID, false)
+			o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+				"Killing %d:%s: rejuvenation", p.PID, proc)
+		}
+	}
+	o.logBootSequence()
+	return o
+}
+
+func (o *OS) logBootSequence() {
+	o.bootCount++
+	o.bootTime = o.clock.Now()
+	o.log.Log(1, 1, logcat.Info, logcat.TagBoot,
+		"%s booting %s (boot #%d)", o.cfg.DeviceName, o.cfg.OSVersion, o.bootCount)
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagSystemServer, "system_server started")
+	o.log.Log(1, 1, logcat.Info, logcat.TagBoot, "BOOT_COMPLETED")
+}
+
+// Clock returns the device's virtual clock; the fuzzer advances it to pace
+// injections.
+func (o *OS) Clock() *vclock.Virtual { return o.clock }
+
+// Logcat returns the device log buffer (adb logcat's source).
+func (o *OS) Logcat() *logcat.Buffer { return o.buf }
+
+// Logger returns a logger stamping entries with device time.
+func (o *OS) Logger() *logcat.Logger { return o.log }
+
+// Registry returns the package registry (the PackageManager data plane).
+func (o *OS) Registry() *manifest.Registry { return o.reg }
+
+// Permissions returns the device permission registry.
+func (o *OS) Permissions() *manifest.PermissionRegistry { return o.perms }
+
+// Binder returns the device's binder router.
+func (o *OS) Binder() *binder.Router { return o.router }
+
+// SensorService exposes the native sensor service.
+func (o *OS) SensorService() *sensors.Service { return o.sensor }
+
+// SystemServer exposes the aging model, mainly for tests and diagnostics.
+func (o *OS) SystemServer() *SystemServer { return o.sysSrv }
+
+// BootCount returns how many times the device has booted (1 = initial
+// boot; each reboot increments it).
+func (o *OS) BootCount() int { return o.bootCount }
+
+// Uptime returns time since last boot.
+func (o *OS) Uptime() time.Duration { return o.clock.Now().Sub(o.bootTime) }
+
+// RebootTimes returns the instants at which the device rebooted.
+func (o *OS) RebootTimes() []time.Time { return append([]time.Time(nil), o.rebootLog...) }
+
+// InstallPackage installs pkg and registers nothing else; handlers are
+// attached via RegisterHandler.
+func (o *OS) InstallPackage(pkg *manifest.Package) error {
+	if err := o.reg.Install(pkg); err != nil {
+		return err
+	}
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagPackageManager,
+		"Package %s installed (%d components)", pkg.Name, len(pkg.Components))
+	return nil
+}
+
+// RegisterHandler attaches the behaviour handler and traits for a
+// component. Components without handlers behave as graceful no-ops.
+func (o *OS) RegisterHandler(cn intent.ComponentName, h Handler, tr ComponentTraits) {
+	o.handlers[cn] = h
+	o.traits[cn] = tr
+}
+
+// ensureProcess starts the app process on demand, like zygote forking on
+// first component start.
+func (o *OS) ensureProcess(pkg string) *Process {
+	if p := o.procs.get(pkg); p != nil {
+		return p
+	}
+	uid := UIDAppBase + 1 + len(o.procs.byName)
+	p := o.procs.start(pkg, uid, o.clock.Now())
+	o.router.SetAlive(p.PID, true)
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"Start proc %d:%s/u0a%d for activity", p.PID, pkg, uid-UIDAppBase)
+	return p
+}
+
+// Process returns the live process for pkg, or nil.
+func (o *OS) Process(pkg string) *Process { return o.procs.get(pkg) }
+
+// LiveProcesses returns the number of live app processes.
+func (o *OS) LiveProcesses() int { return o.procs.live() }
+
+// StartActivity dispatches an intent to an Activity, applying the Android
+// checks in order: protected-action permission, resolution, component
+// permission/export, then handler execution.
+func (o *OS) StartActivity(in *intent.Intent) DeliveryResult {
+	return o.dispatch(in, manifest.Activity)
+}
+
+// StartService dispatches an intent to a Service.
+func (o *OS) StartService(in *intent.Intent) DeliveryResult {
+	return o.dispatch(in, manifest.Service)
+}
+
+func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryResult {
+	verb := "START"
+	if kind == manifest.Service {
+		verb = "startService"
+	}
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"%s u0 %s from uid %d", verb, in.String(), in.SenderUID)
+
+	// 1. Protected actions are reserved for the OS; QGJ (an unprivileged
+	// app) sending e.g. ACTION_BATTERY_LOW gets a SecurityException and the
+	// intent is ignored — "the specified and secure behavior" (Section IV-A).
+	if intent.IsProtected(in.Action) && in.SenderUID != UIDSystem {
+		thr := javalang.Newf(javalang.ClassSecurity,
+			"Permission Denial: not allowed to send broadcast %s from pid=?, uid=%d", in.Action, in.SenderUID)
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
+			"%s targeting %s", thr.Error(), in.Component.FlattenToString())
+		return BlockedSecurity
+	}
+
+	// 2. Resolution.
+	comp := o.reg.Resolve(in, kind)
+	if comp == nil {
+		if kind == manifest.Activity {
+			thr := javalang.Newf(javalang.ClassActivityNotFound,
+				"Unable to find explicit activity class %s; have you declared this activity in your AndroidManifest.xml?",
+				in.Component.FlattenToString())
+			o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, "%s", thr.Error())
+		} else {
+			o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
+				"Unable to start service %s: not found", in.Component.FlattenToString())
+		}
+		return BlockedNotFound
+	}
+
+	// 3. Export / permission checks on the target component.
+	if !comp.Exported && in.SenderUID != UIDSystem {
+		thr := javalang.Newf(javalang.ClassSecurity,
+			"Permission Denial: %s not exported from uid %d", comp.Name.FlattenToString(), in.SenderUID)
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
+			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
+		return BlockedSecurity
+	}
+	if comp.Permission != "" && in.SenderUID != UIDSystem {
+		thr := javalang.Newf(javalang.ClassSecurity,
+			"Permission Denial: starting %s requires %s", comp.Name.FlattenToString(), comp.Permission)
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
+			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
+		return BlockedSecurity
+	}
+
+	// 4. Process bring-up and delivery bookkeeping.
+	proc := o.ensureProcess(comp.Name.Package)
+	o.lastDeliver[proc.PID] = comp.Name
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"Delivering to %s cmp=%s pid=%d", comp.Type, comp.Name.FlattenToString(), proc.PID)
+
+	// 5. Handler execution.
+	h := o.handlers[comp.Name]
+	var out Outcome
+	if h != nil {
+		out = h(&Env{PID: proc.PID, Clock: o.clock, Log: o.log}, in)
+	}
+	tr := o.traits[comp.Name]
+	result := o.settle(proc, comp, tr, out)
+
+	// 6. Aging consequences are applied; a pending reboot tears the device
+	// down *after* the delivery completes, never mid-dispatch.
+	if o.sysSrv.MaybeReboot() {
+		return DeviceRebooted
+	}
+	return result
+}
+
+// settle converts a handler outcome into logs, process state changes, and a
+// DeliveryResult.
+func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits, out Outcome) DeliveryResult {
+	pkg := o.reg.Package(comp.Name.Package)
+	builtIn := pkg != nil && pkg.Origin == manifest.BuiltIn
+
+	// ANR takes precedence: the looper wedged before anything else could be
+	// observed.
+	if out.BusyFor > o.cfg.ANRThreshold {
+		proc.busyUntil = o.clock.Now().Add(out.BusyFor)
+		proc.ANRs++
+		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
+			"ANR in %s (%s)", proc.Name, comp.Name.FlattenToString())
+		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
+			"Reason: Input dispatching timed out (Waiting to send non-key event because the touched window has not finished processing certain input events)")
+		anrEntry := DropBoxEntry{
+			Time: o.clock.Now(), Tag: TagAppANR,
+			Process: proc.Name, Component: comp.Name,
+			Detail: "ANR in " + proc.Name,
+		}
+		if out.Thrown != nil {
+			anrEntry.ExceptionClass = out.Thrown.Class
+		}
+		o.dropbox.add(anrEntry)
+		if out.Thrown != nil {
+			// The exception that wedged the looper is visible in the log
+			// even though the process did not crash.
+			o.log.Block(proc.PID, proc.PID, logcat.Warn, proc.Name, out.Thrown.TraceLines())
+		}
+		o.sysSrv.RecordANR(proc.Name, tr.UsesSensorManager)
+		return DeliveredANR
+	}
+
+	switch {
+	case out.Thrown == nil:
+		o.sysSrv.RecordStartSuccess(comp.Name)
+		return DeliveredNoEffect
+	case out.Caught:
+		// Handled gracefully: the app logs it and moves on.
+		o.log.Log(proc.PID, proc.PID, logcat.Warn, proc.Name,
+			"caught exception while handling intent: %s", out.Thrown.Error())
+		o.sysSrv.RecordStartSuccess(comp.Name)
+		return DeliveredHandledException
+	case out.Rejected:
+		// Validation refusal: the exception crosses the IPC boundary back
+		// to the sender. Logged by the system with component attribution so
+		// the analyzer can count it (Fig. 2), but nothing crashes.
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
+			"Exception thrown delivering intent to cmp=%s: %s",
+			comp.Name.FlattenToString(), out.Thrown.Error())
+		o.sysSrv.RecordStartSuccess(comp.Name)
+		return DeliveredRejected
+	default:
+		o.crashProcess(proc, comp, out.Thrown)
+		o.sysSrv.RecordAppCrash(proc.Name, builtIn)
+		o.sysSrv.RecordStartFailure(comp.Name, tr.AmbientBound)
+		return DeliveredCrash
+	}
+}
+
+// crashProcess emits the FATAL EXCEPTION block and kills the process, the
+// way ART's uncaught-exception handler does.
+func (o *OS) crashProcess(proc *Process, comp *manifest.Component, thr *javalang.Throwable) {
+	lines := make([]string, 0, 2+len(thr.Stack)+4)
+	lines = append(lines, "FATAL EXCEPTION: main")
+	lines = append(lines, fmt.Sprintf("Process: %s, PID: %d", proc.Name, proc.PID))
+	lines = append(lines, thr.TraceLines()...)
+	o.log.Block(proc.PID, proc.PID, logcat.Error, logcat.TagAndroidRuntime, lines)
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"Process %s (pid %d) has died", proc.Name, proc.PID)
+	proc.Crashes++
+	o.procs.kill(proc.Name)
+	o.router.SetAlive(proc.PID, false)
+	o.dropbox.add(DropBoxEntry{
+		Time: o.clock.Now(), Tag: TagAppCrash,
+		Process: proc.Name, Component: comp.Name,
+		ExceptionClass: thr.Root().Class,
+		Detail:         thr.Root().Error(),
+	})
+}
+
+// reboot tears the device down and boots it again: every process dies, the
+// sensor service restarts, aging state clears, and the boot sequence is
+// logged. This is the paper's most severe manifestation.
+func (o *OS) reboot(reason string) {
+	o.log.Log(1000, 1000, logcat.Fatal, logcat.TagSystemServer,
+		"!!! REBOOTING: %s !!!", reason)
+	for _, p := range o.procs.killAll() {
+		o.router.SetAlive(p.PID, false)
+	}
+	o.rebootLog = append(o.rebootLog, o.clock.Now())
+	o.dropbox.add(DropBoxEntry{
+		Time: o.clock.Now(), Tag: TagSystemRestart,
+		Process: "system_server", Detail: reason,
+	})
+	o.sysSrv.resetAfterBoot()
+	o.sensor.Restart(o.procs.allocPID())
+	o.lastDeliver = make(map[int]intent.ComponentName)
+	// Boot takes a while even on a watch.
+	o.clock.Advance(20 * time.Second)
+	o.logBootSequence()
+}
+
+// LastDelivered reports the last component an intent was delivered to in
+// the process with the given PID; used by diagnostics and tests (the log
+// analyzer reconstructs the same mapping from ActivityManager entries).
+func (o *OS) LastDelivered(pid int) (intent.ComponentName, bool) {
+	cn, ok := o.lastDeliver[pid]
+	return cn, ok
+}

@@ -1,0 +1,114 @@
+// Package wearos simulates the Android (Wear) operating system layer the
+// QGJ study exercises: intent dispatch through ActivityManager, permission
+// enforcement, application process lifecycle, the ANR watchdog, and the
+// system server whose error-accumulation ("software aging") behaviour
+// produces the paper's device reboots.
+//
+// The OS is intentionally single-threaded: the whole simulation is driven
+// from one goroutine with a virtual clock, which keeps multi-million-intent
+// campaigns deterministic. An OS value must not be shared across goroutines.
+package wearos
+
+import (
+	"time"
+)
+
+// Well-known Android UIDs.
+const (
+	UIDSystem  = 1000
+	UIDShell   = 2000
+	UIDAppBase = 10000
+)
+
+// Process models one application (or native) process.
+type Process struct {
+	PID       int
+	Name      string // process name; for apps this is the package name
+	UID       int
+	Alive     bool
+	StartedAt time.Time
+
+	// Crashes counts FATAL EXCEPTION deaths of this process since boot.
+	Crashes int
+	// ANRs counts Application-Not-Responding events since boot.
+	ANRs int
+	// busyUntil marks the main looper as occupied until this instant; a
+	// delivery landing inside a busy window models the queueing delay that
+	// precedes an ANR.
+	busyUntil time.Time
+}
+
+// Busy reports whether the process's main looper is occupied at now.
+func (p *Process) Busy(now time.Time) bool { return p.busyUntil.After(now) }
+
+// processTable allocates PIDs and tracks app processes by name.
+type processTable struct {
+	nextPID int
+	byName  map[string]*Process
+	byPID   map[int]*Process
+}
+
+func newProcessTable(firstPID int) *processTable {
+	return &processTable{
+		nextPID: firstPID,
+		byName:  make(map[string]*Process),
+		byPID:   make(map[int]*Process),
+	}
+}
+
+func (t *processTable) allocPID() int {
+	pid := t.nextPID
+	t.nextPID++
+	return pid
+}
+
+// start launches (or relaunches) the named process.
+func (t *processTable) start(name string, uid int, now time.Time) *Process {
+	p := &Process{PID: t.allocPID(), Name: name, UID: uid, Alive: true, StartedAt: now}
+	t.byName[name] = p
+	t.byPID[p.PID] = p
+	return p
+}
+
+// get returns the live process with the given name, or nil.
+func (t *processTable) get(name string) *Process {
+	p := t.byName[name]
+	if p == nil || !p.Alive {
+		return nil
+	}
+	return p
+}
+
+// kill marks the process dead; the entry stays in byPID for post-mortem
+// lookups.
+func (t *processTable) kill(name string) *Process {
+	p := t.byName[name]
+	if p == nil {
+		return nil
+	}
+	p.Alive = false
+	return p
+}
+
+// killAll marks every process dead (device reboot) and returns the victims.
+func (t *processTable) killAll() []*Process {
+	var out []*Process
+	for _, p := range t.byName {
+		if p.Alive {
+			p.Alive = false
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// live returns the number of live processes.
+func (t *processTable) live() int {
+	n := 0
+	for _, p := range t.byName {
+		if p.Alive {
+			n++
+		}
+	}
+	return n
+}
