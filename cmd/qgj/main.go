@@ -15,10 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +41,9 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "run all four campaigns against -app")
 	quick := fs.Int("quick", 0, "scale factor k (>0 shrinks campaigns; 0 = full scale)")
 	logDump := fs.Bool("logcat", false, "dump the wearable's logcat after fuzzing")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars, /spans and /debug/pprof on this address (e.g. :9100 or :0)")
+	linger := fs.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the run")
+	progressEvery := fs.Duration("progress", 2*time.Second, "interval between progress lines on stderr (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +57,20 @@ func run(args []string) error {
 	}
 	core.InstallWearApp(watch)
 	mobile := core.InstallMobileApp(phone)
+
+	tel := watch.OS.Telemetry()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, tel, watch.OS.Tracer())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qgj: telemetry on http://%s/metrics\n", srv.Addr)
+	}
+	// A streaming analyzer mirrors the manifestation taxonomy into the
+	// exposition (analysis_components{manifestation=...}) while campaigns run.
+	col := analysis.NewCollector().UseTelemetry(tel)
+	watch.OS.Logcat().Subscribe(col)
 
 	if *list {
 		comps, err := mobile.ListWearComponents()
@@ -86,6 +107,25 @@ func run(args []string) error {
 		}
 		campaigns = []core.Campaign{c}
 	}
+	if *progressEvery > 0 {
+		start := time.Now()
+		stop := telemetry.Watch(os.Stderr, *progressEvery, func() string {
+			snap := tel.Snapshot()
+			var injected uint64
+			for k, v := range snap.Counters {
+				if strings.HasPrefix(k, "qgj_intents_injected_total") {
+					injected += v
+				}
+			}
+			rate := float64(injected) / time.Since(start).Seconds()
+			return fmt.Sprintf("qgj: %v injected=%d (%.0f/s) crashes=%d anrs=%d reboots=%d",
+				time.Since(start).Round(time.Millisecond), injected, rate,
+				snap.Counters["analysis_crash_events_total"],
+				snap.Counters["analysis_anr_events_total"],
+				snap.Counters["analysis_reboots_total"])
+		})
+		defer stop()
+	}
 	for _, c := range campaigns {
 		sum, err := mobile.StartFuzz(*app, c, gen)
 		if err != nil {
@@ -96,6 +136,10 @@ func run(args []string) error {
 
 	if *logDump {
 		fmt.Print(watch.OS.Logcat().Dump())
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "qgj: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,8 +38,18 @@ func run(args []string) error {
 	uiEvents := fs.Int("ui-events", 0, "QGJ-UI events per mode (0 = the paper's 41405)")
 	ablations := fs.Bool("ablations", false, "also run the extension studies (aging ablations, rejuvenation, validation eras)")
 	jsonOut := fs.String("json", "", "also write machine-readable artifacts to this file (wear+phone+ui exports)")
+	progress := fs.Bool("progress", false, "print rate-limited study progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr, 2*time.Second)
+	}
+	progressCB := func(c core.Campaign, pkg string, sent int) {
+		prog.Tickf("report: %v campaign %s app %s sent=%d",
+			prog.Elapsed().Round(time.Millisecond), c.Letter(), pkg, sent)
 	}
 
 	want := map[string]bool{}
@@ -66,7 +77,7 @@ func run(args []string) error {
 	if needWear {
 		start := time.Now()
 		var err error
-		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen})
+		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB})
 		if err != nil {
 			return fmt.Errorf("wear study: %w", err)
 		}
@@ -94,7 +105,7 @@ func run(args []string) error {
 
 	if needPhone {
 		start := time.Now()
-		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen})
+		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB})
 		if err != nil {
 			return fmt.Errorf("phone study: %w", err)
 		}

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/adb"
 	"repro/internal/apps"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -35,6 +37,8 @@ func run(args []string) error {
 	shell := fs.String("shell", "", "run one adb shell command")
 	logDump := fs.Bool("logcat", false, "dump logcat at the end")
 	dropbox := fs.Bool("dropbox", false, "dump DropBox crash/ANR/restart records at the end")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars, /spans and /debug/pprof on this address (e.g. :9100 or :0)")
+	linger := fs.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +47,14 @@ func run(args []string) error {
 	dev := wearos.New(wearos.DefaultWatchConfig())
 	if err := fleet.InstallInto(dev); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, dev.Telemetry(), dev.Tracer())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "wearsim: telemetry on http://%s/metrics\n", srv.Addr)
 	}
 
 	switch {
@@ -89,6 +101,10 @@ func run(args []string) error {
 				e.Time.Format("15:04:05.000"), e.Tag, e.Process,
 				e.Component.FlattenToString(), e.Detail)
 		}
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "wearsim: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -14,17 +14,28 @@ import (
 
 	"repro/internal/intent"
 	"repro/internal/logcat"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
 // Shell is an adb shell session bound to one device.
 type Shell struct {
 	dev *wearos.OS
+	// cmds counts executed commands per tool (nil when device telemetry is
+	// off). Unknown tools share the "other" label to bound cardinality.
+	cmds map[string]*telemetry.Counter
 }
 
 // NewShell opens a shell on the device.
 func NewShell(dev *wearos.OS) *Shell {
-	return &Shell{dev: dev}
+	s := &Shell{dev: dev}
+	if reg := dev.Telemetry(); reg != nil {
+		s.cmds = make(map[string]*telemetry.Counter)
+		for _, tool := range []string{"am", "pm", "input", "logcat", "other"} {
+			s.cmds[tool] = reg.Counter("adb_commands_total", telemetry.L("tool", tool))
+		}
+	}
+	return s
 }
 
 // Result is the outcome of one shell command.
@@ -44,6 +55,13 @@ func (s *Shell) Run(cmdline string) Result {
 	fields := tokenize(cmdline)
 	if len(fields) == 0 {
 		return Result{Output: "", ExitCode: 0}
+	}
+	if s.cmds != nil {
+		c := s.cmds[fields[0]]
+		if c == nil {
+			c = s.cmds["other"]
+		}
+		c.Inc()
 	}
 	switch fields[0] {
 	case "am":

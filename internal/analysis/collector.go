@@ -20,6 +20,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/javalang"
 	"repro/internal/logcat"
+	"repro/internal/telemetry"
 )
 
 // Manifestation is the paper's four-level severity scale (Section III-C),
@@ -209,6 +210,19 @@ type Collector struct {
 	blameCompAt time.Time
 	blameComp   intent.ComponentName
 	hasBlame    bool
+
+	// Telemetry (nil = no-op). The counters mirror the Report event tallies;
+	// the manifest gauges track every component's current most-severe
+	// manifestation so a concurrent scrape always matches what Report()
+	// would say.
+	entriesTotal   *telemetry.Counter
+	crashTotal     *telemetry.Counter
+	anrTotal       *telemetry.Counter
+	securityTotal  *telemetry.Counter
+	rebootsTotal   *telemetry.Counter
+	consumeSeconds *telemetry.Histogram
+	manifest       map[Manifestation]*telemetry.Gauge
+	levels         map[intent.ComponentName]Manifestation
 }
 
 type anrMark struct {
@@ -227,6 +241,50 @@ func NewCollector() *Collector {
 		crashParse: make(map[int]*crashBlock),
 		lastANR:    make(map[string]anrMark),
 	}
+}
+
+// UseTelemetry wires the collector's classification metrics into reg and
+// returns c for chaining. The analysis_components{manifestation=...} gauges
+// are maintained incrementally on every severity change, so they agree with
+// Report() at any instant without locking the report.
+func (c *Collector) UseTelemetry(reg *telemetry.Registry) *Collector {
+	if reg == nil {
+		return c
+	}
+	c.entriesTotal = reg.Counter("analysis_entries_total")
+	c.crashTotal = reg.Counter("analysis_crash_events_total")
+	c.anrTotal = reg.Counter("analysis_anr_events_total")
+	c.securityTotal = reg.Counter("analysis_security_events_total")
+	c.rebootsTotal = reg.Counter("analysis_reboots_total")
+	c.consumeSeconds = reg.Histogram("analysis_consume_seconds", telemetry.DefLatencyBuckets)
+	c.manifest = make(map[Manifestation]*telemetry.Gauge, len(AllManifestations))
+	for _, m := range AllManifestations {
+		c.manifest[m] = reg.Gauge("analysis_components", telemetry.L("manifestation", m.String()))
+	}
+	c.levels = make(map[intent.ComponentName]Manifestation)
+	return c
+}
+
+// syncManifest re-derives the component's manifestation and moves it between
+// the severity gauges when it changed (or registers it on first sight).
+func (c *Collector) syncManifest(cn intent.ComponentName) {
+	if c.manifest == nil {
+		return
+	}
+	cr, ok := c.report.Components[cn]
+	if !ok {
+		return
+	}
+	cur := cr.Manifestation()
+	prev, seen := c.levels[cn]
+	if seen && prev == cur {
+		return
+	}
+	if seen {
+		c.manifest[prev].Add(-1)
+	}
+	c.manifest[cur].Add(1)
+	c.levels[cn] = cur
 }
 
 // Report returns the accumulated report. The collector keeps ownership; do
@@ -249,7 +307,9 @@ func AnalyzeEntries(entries []logcat.Entry) *Report {
 
 // Consume implements logcat.Sink: one log entry at a time, in order.
 func (c *Collector) Consume(e logcat.Entry) {
+	defer telemetry.Time(c.consumeSeconds)()
 	c.report.Entries++
+	c.entriesTotal.Inc()
 	switch e.Tag {
 	case logcat.TagActivityManager:
 		c.consumeAM(e)
@@ -292,6 +352,7 @@ func (c *Collector) consumeAM(e logcat.Entry) {
 		cr := c.report.component(cn)
 		cr.Type = kind
 		cr.Deliveries++
+		c.syncManifest(cn)
 
 	case strings.Contains(msg, "java.lang.SecurityException") && strings.Contains(msg, " targeting "):
 		flat := msg[strings.LastIndex(msg, " targeting ")+len(" targeting "):]
@@ -301,6 +362,8 @@ func (c *Collector) consumeAM(e logcat.Entry) {
 		}
 		c.report.component(cn).Security++
 		c.report.SecurityEvents++
+		c.securityTotal.Inc()
+		c.syncManifest(cn)
 
 	case strings.HasPrefix(msg, "Exception thrown delivering intent to cmp="):
 		rest := strings.TrimPrefix(msg, "Exception thrown delivering intent to cmp=")
@@ -314,6 +377,7 @@ func (c *Collector) consumeAM(e logcat.Entry) {
 		}
 		if class, _, ok := javalang.ParseHeader(header); ok {
 			c.report.component(cn).Rejected[class]++
+			c.syncManifest(cn)
 		}
 
 	case strings.HasPrefix(msg, "ANR in "):
@@ -331,6 +395,8 @@ func (c *Collector) consumeAM(e logcat.Entry) {
 		cr := c.report.component(cn)
 		cr.ANRs++
 		c.report.ANREvents++
+		c.anrTotal.Inc()
+		c.syncManifest(cn)
 		c.lastANR[proc] = anrMark{at: e.Time, comp: cn}
 		c.pushRecent(e.Time, cn)
 
@@ -355,6 +421,8 @@ func (c *Collector) consumeAM(e logcat.Entry) {
 		cr := c.report.component(cn)
 		cr.CrashRoots[root]++
 		c.report.CrashEvents++
+		c.crashTotal.Inc()
+		c.syncManifest(cn)
 		c.pushRecent(e.Time, cn)
 	}
 }
@@ -449,6 +517,7 @@ func (c *Collector) consumeSystemServer(e logcat.Entry) {
 		return
 	}
 	c.report.RebootTimes = append(c.report.RebootTimes, e.Time)
+	c.rebootsTotal.Inc()
 	c.attributeReboot(e.Time)
 	c.recent = c.recent[:0]
 	// Processes restart after reboot; stale PID mappings must not leak
@@ -478,6 +547,7 @@ func (c *Collector) attributeReboot(at time.Time) {
 	}
 	if !blameComp.IsZero() {
 		c.report.component(blameComp).RebootInvolved = true
+		c.syncManifest(blameComp)
 		return
 	}
 	for _, f := range c.recent {
@@ -488,6 +558,7 @@ func (c *Collector) attributeReboot(at time.Time) {
 			continue
 		}
 		c.report.component(f.comp).RebootInvolved = true
+		c.syncManifest(f.comp)
 	}
 }
 
@@ -503,6 +574,7 @@ func (c *Collector) consumeApp(e logcat.Entry) {
 		}
 		if class, _, ok := javalang.ParseHeader(header); ok {
 			c.report.component(cn).Caught[class]++
+			c.syncManifest(cn)
 		}
 		return
 	}

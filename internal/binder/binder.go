@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/javalang"
+	"repro/internal/telemetry"
 )
 
 // Handler processes one transaction and returns a reply or a Throwable.
@@ -33,6 +34,11 @@ type Router struct {
 	deathSubs map[string][]func()
 	// txCount counts delivered transactions, for stats/benchmarks.
 	txCount uint64
+
+	// Telemetry handles, cached at SetTelemetry time (nil = no-op).
+	txOK      *telemetry.Counter
+	txDead    *telemetry.Counter
+	txLatency *telemetry.Histogram
 }
 
 // NewRouter returns an empty router.
@@ -95,11 +101,23 @@ func (r *Router) LinkToDeath(name string, fn func()) error {
 	return nil
 }
 
+// SetTelemetry wires the router's dispatch metrics into reg:
+// binder_transactions_total{status} and the binder_transact_seconds
+// latency histogram. A nil registry detaches (no-op metrics).
+func (r *Router) SetTelemetry(reg *telemetry.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txOK = reg.Counter("binder_transactions_total", telemetry.L("status", "ok"))
+	r.txDead = reg.Counter("binder_transactions_total", telemetry.L("status", "dead"))
+	r.txLatency = reg.Histogram("binder_transact_seconds", telemetry.DefLatencyBuckets)
+}
+
 // Transact delivers a synchronous transaction to the named endpoint.
 // Transactions against unknown endpoints or dead owners fail with
 // DeadObjectException, exactly the error apps observe when a remote process
 // was reclaimed.
 func (r *Router) Transact(name string, code int, data any) (any, *javalang.Throwable) {
+	defer telemetry.Time(r.txLatency)()
 	r.mu.Lock()
 	ep, ok := r.endpoints[name]
 	var ownerAlive bool
@@ -109,9 +127,11 @@ func (r *Router) Transact(name string, code int, data any) (any, *javalang.Throw
 	r.txCount++
 	r.mu.Unlock()
 	if !ok || !ownerAlive {
+		r.txDead.Inc()
 		return nil, javalang.Newf(javalang.ClassDeadObject,
 			"Transaction failed on small parcel; remote process %q probably died", name)
 	}
+	r.txOK.Inc()
 	return ep.handler(code, data)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/intent"
 	"repro/internal/manifest"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -22,6 +23,11 @@ const (
 	BatchPause       = 250 * time.Millisecond
 	BatchSize        = 100
 )
+
+// injSampleEvery is the 1-in-N sampling rate for the qgj_injection_seconds
+// latency histogram (power of two; the first injection of every component
+// run is always sampled). Counters are never sampled.
+const injSampleEvery = 16
 
 // Injector is the Fuzzer library: it generates campaign intents and injects
 // them into components on the target device, pacing the device's virtual
@@ -83,23 +89,70 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 		Results:   make(map[wearos.DeliveryResult]int, 8),
 	}
 	clock := inj.Dev.Clock()
+
+	// Metric handles are resolved once per component run; the per-intent path
+	// then touches only atomics (and one wall-clock read for the latency
+	// histogram).
+	tel := inj.Dev.Telemetry()
+	var (
+		generated *telemetry.Counter
+		injSecs   *telemetry.Histogram
+		progress  *telemetry.Gauge
+		// byResult is indexed by DeliveryResult (values start at 1); entries
+		// are resolved lazily as result kinds first appear.
+		byResult [wearos.DeviceRebooted + 1]*telemetry.Counter
+	)
+	if tel != nil {
+		campaign := telemetry.L("campaign", c.Letter())
+		generated = tel.Counter("qgj_intents_generated_total", campaign)
+		injSecs = tel.Histogram("qgj_injection_seconds", telemetry.DefLatencyBuckets, campaign)
+		progress = tel.Gauge("qgj_component_progress")
+	}
+	sp := inj.Dev.Tracer().Start("fuzz:" + c.Letter() + ":" + comp.Name.FlattenToString())
+
 	c.Generate(comp.Name, inj.Cfg, inj.uid(), func(in *intent.Intent) {
+		generated.Inc()
+		// Latency is sampled 1-in-injSampleEvery: two wall-clock reads per
+		// intent are the single most expensive instruction in this callback,
+		// and the histogram only needs a representative population, not a
+		// census. Counters stay exact.
+		timed := injSecs != nil && run.Sent&(injSampleEvery-1) == 0
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		var res wearos.DeliveryResult
 		if comp.Type == manifest.Service {
 			res = inj.Dev.StartService(in)
 		} else {
 			res = inj.Dev.StartActivity(in)
 		}
+		if timed {
+			injSecs.Observe(time.Since(start).Seconds())
+		}
+		if tel != nil {
+			rc := byResult[res]
+			if rc == nil {
+				rc = tel.Counter("qgj_intents_injected_total",
+					telemetry.L("campaign", c.Letter()), telemetry.L("result", res.String()))
+				byResult[res] = rc
+			}
+			rc.Inc()
+		}
 		run.Results[res]++
 		run.Sent++
 		clock.Advance(InterIntentDelay)
 		if run.Sent%BatchSize == 0 {
+			progress.Set(float64(run.Sent))
 			clock.Advance(BatchPause)
 		}
 		if inj.Progress != nil {
 			inj.Progress(run.Sent)
 		}
 	})
+	sp.End()
+	progress.Set(float64(run.Sent))
+	tel.Counter("qgj_components_fuzzed_total").Inc()
 	return run
 }
 
@@ -117,6 +170,7 @@ func (inj *Injector) FuzzApp(c Campaign, pkg *manifest.Package) AppRun {
 		run.Sent += cr.Sent
 		run.Components = append(run.Components, cr)
 	}
+	inj.Dev.Telemetry().Counter("qgj_apps_fuzzed_total").Inc()
 	return run
 }
 

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Level is the Android log priority.
@@ -99,6 +101,11 @@ type Buffer struct {
 	count   int
 	dropped uint64
 	sinks   []Sink
+
+	// Telemetry (optional; nil metrics no-op).
+	appended     *telemetry.Counter
+	droppedGauge *telemetry.Gauge
+	onFirstDrop  func(capacity int)
 }
 
 // DefaultCapacity matches a generously sized logd buffer; campaign runs
@@ -122,20 +129,49 @@ func (b *Buffer) Subscribe(s Sink) {
 	b.sinks = append(b.sinks, s)
 }
 
+// SetTelemetry wires the buffer's counters into reg: logcat_entries_total
+// counts appends, logcat_dropped_lines mirrors Dropped(). A nil registry
+// detaches.
+func (b *Buffer) SetTelemetry(reg *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.appended = reg.Counter("logcat_entries_total")
+	b.droppedGauge = reg.Gauge("logcat_dropped_lines")
+	b.droppedGauge.Set(float64(b.dropped))
+}
+
+// OnFirstDrop registers fn to run once, when the first entry is evicted
+// for capacity. Dropped lines silently corrupt manifestation counts (the
+// analyzer never sees them), so callers surface a warning here.
+func (b *Buffer) OnFirstDrop(fn func(capacity int)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onFirstDrop = fn
+}
+
 // Append adds an entry to the buffer and fans it out to sinks.
 func (b *Buffer) Append(e Entry) {
 	b.mu.Lock()
 	capN := len(b.entries)
+	var firstDrop func(int)
 	if b.count == capN {
 		b.entries[b.start] = e
 		b.start = (b.start + 1) % capN
 		b.dropped++
+		b.droppedGauge.Set(float64(b.dropped))
+		if b.dropped == 1 {
+			firstDrop = b.onFirstDrop
+		}
 	} else {
 		b.entries[(b.start+b.count)%capN] = e
 		b.count++
 	}
+	b.appended.Inc()
 	sinks := b.sinks
 	b.mu.Unlock()
+	if firstDrop != nil {
+		firstDrop(capN)
+	}
 	for _, s := range sinks {
 		s.Consume(e)
 	}

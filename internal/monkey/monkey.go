@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/manifest"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -109,6 +110,7 @@ type Generator struct {
 	r         *rng.Source
 	launchers []string // flattened launcher components
 	perms     []string
+	generated *telemetry.Counter
 }
 
 // NewGenerator builds a generator against the device's installed apps.
@@ -117,6 +119,7 @@ func NewGenerator(dev *wearos.OS, cfg Config) *Generator {
 		cfg.IntentRatio = 0.25
 	}
 	g := &Generator{cfg: cfg, r: rng.New(cfg.Seed).Split("monkey")}
+	g.generated = dev.Telemetry().Counter("monkey_events_total")
 	for _, p := range dev.Registry().Packages() {
 		if l := p.Launcher(); l != nil {
 			g.launchers = append(g.launchers, l.Name.FlattenToString())
@@ -132,6 +135,7 @@ func (g *Generator) Generate() []Event {
 	for i := 0; i < g.cfg.Events; i++ {
 		t := AllEventTypes[i%len(AllEventTypes)] // equal percentages
 		out = append(out, g.event(t))
+		g.generated.Inc()
 	}
 	return out
 }

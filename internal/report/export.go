@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/uifuzz"
 )
 
@@ -26,6 +27,10 @@ type StudyExport struct {
 	Fig3a     map[string]int      `json:"fig3a"`
 	Fig4      map[string]float64  `json:"fig4CrashAppRate"`
 	Reboot    []string            `json:"rebootComponents"`
+	// Telemetry embeds the device's metric snapshot at export time, so a run
+	// artifact carries its own instrumentation (counters, gauges, histogram
+	// quantiles) next to the paper tables.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // CampaignExport summarizes one campaign.
@@ -77,6 +82,12 @@ func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
 		Reboots: sr.Reboots(),
 		Fig3a:   map[string]int{},
 		Fig4:    map[string]float64{},
+	}
+	if sr.Device != nil {
+		if reg := sr.Device.Telemetry(); reg != nil {
+			snap := reg.Snapshot()
+			out.Telemetry = &snap
+		}
 	}
 	for _, c := range sr.Campaigns {
 		out.Campaigns = append(out.Campaigns, CampaignExport{

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): TYPE comments, one sample per line,
+// histograms as cumulative _bucket/_sum/_count families. Collect hooks run
+// first so derived gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.collect()
+	var lastName string
+	for _, e := range r.entries() {
+		if e.name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+				return err
+			}
+			lastName = e.name
+		}
+		if err := writeEntry(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEntry(w io.Writer, e *entry) error {
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name, e.labels, nil), e.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.name, e.labels, nil), formatFloat(e.gauge.Value()))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, e)
+	default:
+		return nil
+	}
+}
+
+func writeHistogram(w io.Writer, e *entry) error {
+	h := e.hist
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		le := Label{Key: "le", Value: formatFloat(b)}
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			sampleName(e.name+"_bucket", e.labels, &le), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	inf := Label{Key: "le", Value: "+Inf"}
+	if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name+"_bucket", e.labels, &inf), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.name+"_sum", e.labels, nil), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name+"_count", e.labels, nil), h.Count())
+	return err
+}
+
+// sampleName renders name{labels...} with an optional extra label (le).
+func sampleName(name string, labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(l.Value)
+		sb.WriteString(`"`)
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(extra.Value)
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is the JSON view of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is the expvar-style JSON view of a registry: every metric keyed
+// by its canonical name{labels} identity.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. Collect
+// hooks run first. A nil registry returns a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.collect()
+	for _, e := range r.entries() {
+		key := metricKey(e.name, e.labels)
+		switch e.kind {
+		case kindCounter:
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			s.Counters[key] = e.counter.Value()
+		case kindGauge:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[key] = e.gauge.Value()
+		case kindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[key] = HistogramSnapshot{
+				Count: e.hist.Count(),
+				Sum:   e.hist.Sum(),
+				P50:   e.hist.Quantile(0.50),
+				P95:   e.hist.Quantile(0.95),
+				P99:   e.hist.Quantile(0.99),
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("qgj_intents_injected_total", L("campaign", "A"), L("result", "crash")).Add(7)
+	reg.Gauge("wearos_instability").Set(12.5)
+	h := reg.Histogram("binder_transact_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE qgj_intents_injected_total counter",
+		`qgj_intents_injected_total{campaign="A",result="crash"} 7`,
+		"# TYPE wearos_instability gauge",
+		"wearos_instability 12.5",
+		"# TYPE binder_transact_seconds histogram",
+		`binder_transact_seconds_bucket{le="0.001"} 1`,
+		`binder_transact_seconds_bucket{le="0.01"} 1`,
+		`binder_transact_seconds_bucket{le="+Inf"} 2`,
+		"binder_transact_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(3)
+	reg.Gauge("b", L("x", "y")).Set(1.25)
+	reg.Histogram("c_seconds", []float64{1, 2}).Observe(1.5)
+
+	snap := reg.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a_total"] != 3 {
+		t.Fatalf("counters = %v", back.Counters)
+	}
+	if back.Gauges[`b{x="y"}`] != 1.25 {
+		t.Fatalf("gauges = %v", back.Gauges)
+	}
+	hs, ok := back.Histograms["c_seconds"]
+	if !ok || hs.Count != 1 || hs.Sum != 1.5 {
+		t.Fatalf("histograms = %v", back.Histograms)
+	}
+	if hs.P50 < 1 || hs.P50 > 2 {
+		t.Fatalf("p50 = %v, want within the observed bucket", hs.P50)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served_total").Inc()
+	tr := NewTracer(nil, 8)
+	tr.Start("boot").End()
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "served_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/vars"); !strings.Contains(out, `"served_total": 1`) {
+		t.Fatalf("/vars missing counter:\n%s", out)
+	}
+	if out := get("/spans"); !strings.Contains(out, `"boot"`) {
+		t.Fatalf("/spans missing span:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

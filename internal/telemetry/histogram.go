@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets covers 1µs..10s, the range of interest for both the
+// simulator's per-intent wall-clock cost (sub-microsecond to tens of
+// microseconds) and end-to-end batch operations.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts. A value
+// v lands in the first bucket whose upper bound satisfies v <= bound; values
+// above the last bound land in the implicit +Inf overflow bucket. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (nil or empty defaults to DefLatencyBuckets). The bounds slice is copied
+// and sorted defensively.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the configured upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket counts; the last element is the +Inf
+// overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket that contains the target rank — the standard
+// fixed-bucket estimator. Observations in the overflow bucket clamp to the
+// largest bound. Returns 0 when empty or NaN input.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		if i == len(counts)-1 {
+			// Overflow bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - cum) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// nop is the shared no-op stopper returned by Time for nil histograms, so
+// disabled telemetry allocates nothing.
+var nop = func() {}
+
+// Time starts a wall-clock timer and returns the function that stops it
+// and records the elapsed seconds into h. Instrumentation stays one line
+// at call sites:
+//
+//	defer telemetry.Time(h)()
+func Time(h *Histogram) func() {
+	if h == nil {
+		return nop
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}

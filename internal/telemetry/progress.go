@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress rate-limits one-line status output: Tickf prints at most once
+// per interval, Final always prints. Safe for concurrent use. Long
+// campaigns call Tickf from their progress callbacks and get a heartbeat
+// on stderr without flooding it.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	start time.Time
+	last  time.Time
+}
+
+// NewProgress returns a progress printer writing to w at most once per
+// every (2s when every <= 0). The first Tickf always prints, so a run
+// shorter than the interval still produces one line of feedback.
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	now := time.Now()
+	return &Progress{w: w, every: every, start: now, last: now.Add(-every)}
+}
+
+// Elapsed returns the wall time since the printer was created.
+func (p *Progress) Elapsed() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.start)
+}
+
+// Tickf prints the formatted line if the interval elapsed since the last
+// print; it reports whether it printed. A nil Progress no-ops.
+func (p *Progress) Tickf(format string, args ...any) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		p.mu.Unlock()
+		return false
+	}
+	p.last = now
+	p.mu.Unlock()
+	fmt.Fprintf(p.w, format+"\n", args...)
+	return true
+}
+
+// Final prints unconditionally.
+func (p *Progress) Final(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+// Watch starts a background goroutine printing line() to w every interval
+// until the returned stop function is called (which prints one last line).
+// line returning "" skips that tick. Used by cmd/qgj for the periodic
+// campaign heartbeat built from registry counters.
+func Watch(w io.Writer, every time.Duration, line func() string) (stop func()) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if s := line(); s != "" {
+					fmt.Fprintln(w, s)
+				}
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			if s := line(); s != "" {
+				fmt.Fprintln(w, s)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressFirstTickPrints(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, time.Hour)
+	if !p.Tickf("tick %d", 1) {
+		t.Fatal("first Tickf must print even before the interval elapses")
+	}
+	if p.Tickf("tick %d", 2) {
+		t.Fatal("second Tickf inside the interval must be suppressed")
+	}
+	if got := sb.String(); got != "tick 1\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestProgressFinalAlwaysPrints(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, time.Hour)
+	p.Tickf("tick")
+	p.Final("done %d", 9)
+	if !strings.HasSuffix(sb.String(), "done 9\n") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	if p.Tickf("x") {
+		t.Fatal("nil Progress must not print")
+	}
+	p.Final("x")
+	if p.Elapsed() != 0 {
+		t.Fatal("nil Progress Elapsed must be zero")
+	}
+}
+
+func TestWatchPrintsFinalLineOnStop(t *testing.T) {
+	var sb strings.Builder
+	stop := Watch(&sb, time.Hour, func() string { return "beat" })
+	stop()
+	stop() // idempotent
+	if got := sb.String(); got != "beat\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

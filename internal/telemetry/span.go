@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID       uint64    `json:"id"`
+	ParentID uint64    `json:"parentId,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+}
+
+// Duration returns End - Start.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Tracer records lightweight spans: start/end pairs with parent linkage,
+// kept in a bounded ring of finished spans (oldest evicted first). Safe
+// for concurrent use; a nil *Tracer is a no-op and hands out nil spans.
+type Tracer struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	nextID   uint64
+	capacity int // max ring size; finished grows toward it on demand
+	finished []SpanRecord
+	start    int // ring: index of oldest finished record
+	count    int
+	active   int
+	dropped  uint64
+}
+
+// DefaultSpanCapacity bounds the finished-span ring when capacity <= 0.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer stamping spans with now (time.Now when nil)
+// and retaining up to capacity finished spans.
+func NewTracer(now func() time.Time, capacity int) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	// The ring is grown on demand (see Span.End): a device that records only
+	// a handful of sampled spans should not pay for a full-capacity ring.
+	return &Tracer{now: now, capacity: capacity}
+}
+
+// Span is one in-flight operation. End it exactly once.
+type Span struct {
+	t        *Tracer
+	id       uint64
+	parentID uint64
+	name     string
+	startAt  time.Time
+	ended    bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return t.open(name, 0)
+}
+
+func (t *Tracer) open(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.active++
+	at := t.now()
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parentID: parent, name: name, startAt: at}
+}
+
+// Child opens a span parented to s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.open(name, s.id)
+}
+
+// ID returns the span id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span and records it in the tracer's ring. Ending a nil
+// or already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.t
+	t.mu.Lock()
+	rec := SpanRecord{
+		ID: s.id, ParentID: s.parentID, Name: s.name,
+		Start: s.startAt, End: t.now(),
+	}
+	if t.count == len(t.finished) && t.count < t.capacity {
+		// Grow the ring (doubling, bounded by capacity), unrolling it so the
+		// oldest record lands back at index 0.
+		grown := 2 * len(t.finished)
+		if grown == 0 {
+			grown = 64
+		}
+		if grown > t.capacity {
+			grown = t.capacity
+		}
+		next := make([]SpanRecord, grown)
+		for i := 0; i < t.count; i++ {
+			next[i] = t.finished[(t.start+i)%len(t.finished)]
+		}
+		t.finished = next
+		t.start = 0
+	}
+	capN := len(t.finished)
+	if t.count == capN {
+		t.finished[t.start] = rec
+		t.start = (t.start + 1) % capN
+		t.dropped++
+	} else {
+		t.finished[(t.start+t.count)%capN] = rec
+		t.count++
+	}
+	t.active--
+	t.mu.Unlock()
+}
+
+// Finished returns a copy of the retained finished spans, oldest first
+// (in end order).
+func (t *Tracer) Finished() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, t.count)
+	for i := 0; i < t.count; i++ {
+		out[i] = t.finished[(t.start+i)%len(t.finished)]
+	}
+	return out
+}
+
+// Active returns the number of started-but-unfinished spans — the "where
+// is the run stuck" signal.
+func (t *Tracer) Active() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Dropped returns how many finished spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source for span tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestSpanParentChildOrdering(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr := NewTracer(clk.now, 16)
+
+	root := tr.Start("dispatch")
+	child := root.Child("handler")
+	grand := child.Child("exception")
+	if tr.Active() != 3 {
+		t.Fatalf("active = %d, want 3", tr.Active())
+	}
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Finished()
+	if len(recs) != 3 {
+		t.Fatalf("finished = %d, want 3", len(recs))
+	}
+	// Finished order is end order: innermost first.
+	if recs[0].Name != "exception" || recs[1].Name != "handler" || recs[2].Name != "dispatch" {
+		t.Fatalf("order = %q %q %q", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	// Parent linkage.
+	if recs[1].ParentID != recs[2].ID {
+		t.Fatalf("handler parent = %d, want root id %d", recs[1].ParentID, recs[2].ID)
+	}
+	if recs[0].ParentID != recs[1].ID {
+		t.Fatalf("exception parent = %d, want handler id %d", recs[0].ParentID, recs[1].ID)
+	}
+	if recs[2].ParentID != 0 {
+		t.Fatalf("root parent = %d, want 0", recs[2].ParentID)
+	}
+	// Children start after their parent and end before it.
+	if !recs[1].Start.After(recs[2].Start) || !recs[2].End.After(recs[1].End) {
+		t.Fatal("child span must nest inside parent")
+	}
+	if recs[0].Duration() <= 0 {
+		t.Fatal("span duration must be positive under a ticking clock")
+	}
+	if tr.Active() != 0 {
+		t.Fatalf("active after all ends = %d", tr.Active())
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	if got := len(tr.Finished()); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestSpanNilAndDoubleEndSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.End() // no panic
+	if sp.Child("y") != nil {
+		t.Fatal("nil span child must be nil")
+	}
+	if tr.Finished() != nil || tr.Active() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer accessors must be zero")
+	}
+
+	real := NewTracer(nil, 2)
+	s := real.Start("once")
+	s.End()
+	s.End() // double end is a no-op
+	if got := len(real.Finished()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}

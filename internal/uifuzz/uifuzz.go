@@ -14,6 +14,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/monkey"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -102,22 +103,35 @@ func (f *Fuzzer) Run(mode Mode, cfg Config) Outcome {
 	if cfg.Events <= 0 {
 		cfg.Events = PaperEventCount
 	}
+	tel := f.dev.Telemetry()
+	var evTotal, excTotal, crashTotal *telemetry.Counter
+	if tel != nil {
+		ml := telemetry.L("mode", mode.String())
+		evTotal = tel.Counter("uifuzz_events_total", ml)
+		excTotal = tel.Counter("uifuzz_exceptions_total", ml)
+		crashTotal = tel.Counter("uifuzz_crashes_total", ml)
+	}
+	runSpan := f.dev.Tracer().Start("uifuzz:" + mode.String())
+
 	// Step 5: run Monkey to produce the baseline event stream and log.
+	genSpan := runSpan.Child("monkey-generate")
 	gen := monkey.NewGenerator(f.dev, monkey.Config{
 		Seed:        cfg.Seed,
 		Events:      cfg.Events,
 		IntentRatio: cfg.IntentRatio,
 	})
 	log := monkey.RenderLog(gen.Generate())
+	genSpan.End()
 
 	// Step 6: parse the Monkey log back into events.
 	events := monkey.ParseLog(log)
 
 	// Mutate and replay through adb; observe through logcat.
 	mut := newMutator(mode, cfg.Seed, events)
-	col := analysis.NewCollector()
+	col := analysis.NewCollector().UseTelemetry(tel)
 	f.dev.Logcat().Subscribe(col)
 
+	replaySpan := runSpan.Child("mutate-replay")
 	out := Outcome{Mode: mode}
 	for _, ev := range events {
 		mutated := mut.mutate(ev)
@@ -127,12 +141,15 @@ func (f *Fuzzer) Run(mode Mode, cfg Config) Outcome {
 
 		f.replay(mutated)
 		out.Injected++
+		evTotal.Inc()
 
 		if col.Report().CrashEvents > crashesBefore {
 			out.Crashes++
+			crashTotal.Inc()
 		}
 		if countExceptions(col.Report()) > exceptionsBefore {
 			out.ExceptionsRaised++
+			excTotal.Inc()
 		}
 		if len(col.Report().RebootTimes) > rebootsBefore {
 			out.SystemCrashes++
@@ -140,6 +157,8 @@ func (f *Fuzzer) Run(mode Mode, cfg Config) Outcome {
 		// Light pacing: Monkey throttles between events.
 		f.dev.Clock().Advance(10 * time.Millisecond)
 	}
+	replaySpan.End()
+	runSpan.End()
 	out.Report = col.Report()
 	return out
 }

@@ -2,6 +2,7 @@ package wearos
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/binder"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/logcat"
 	"repro/internal/manifest"
 	"repro/internal/sensors"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -27,6 +29,10 @@ type Config struct {
 	LogCapacity int
 	// Aging parameterizes the system-server aging model.
 	Aging AgingConfig
+	// DisableTelemetry skips creating the device metric registry and span
+	// tracer; every instrumentation site degrades to a nil-check. The zero
+	// value keeps telemetry on.
+	DisableTelemetry bool
 }
 
 // DefaultWatchConfig returns the Moto 360 / Android Wear 2.0 configuration
@@ -182,6 +188,51 @@ type OS struct {
 	rebootLog   []time.Time
 	lastDeliver map[int]intent.ComponentName // pid -> last component delivered
 	dropbox     *dropBox
+
+	tel         *telemetry.Registry
+	tracer      *telemetry.Tracer
+	osm         osMetrics
+	dispatchSeq uint64
+}
+
+// spanSampleEvery is the dispatch span sampling rate (power of two). A span
+// per delivery costs several allocations and tracer mutex round-trips —
+// far over the telemetry overhead budget at millions of intents — so only
+// every Nth dispatch is traced. Counters and histograms remain exact.
+const spanSampleEvery = 64
+
+// osMetrics caches the device-level metric handles so hot paths touch only
+// atomics, never the registry map. All fields are nil (no-op) when telemetry
+// is disabled.
+type osMetrics struct {
+	// dispatch is indexed by DeliveryResult (valid values start at 1, so
+	// index 0 is unused); an array beats a map on the per-intent path.
+	dispatch    [DeviceRebooted + 1]*telemetry.Counter
+	procStarts  *telemetry.Counter
+	procDeaths  *telemetry.Counter
+	anrs        *telemetry.Counter
+	reboots     *telemetry.Counter
+	instability *telemetry.Gauge
+	liveProcs   *telemetry.Gauge
+	bootCount   *telemetry.Gauge
+}
+
+func newOSMetrics(reg *telemetry.Registry) osMetrics {
+	m := osMetrics{
+		procStarts:  reg.Counter("wearos_process_starts_total"),
+		procDeaths:  reg.Counter("wearos_process_deaths_total"),
+		anrs:        reg.Counter("wearos_anr_total"),
+		reboots:     reg.Counter("wearos_reboots_total"),
+		instability: reg.Gauge("wearos_instability"),
+		liveProcs:   reg.Gauge("wearos_live_processes"),
+		bootCount:   reg.Gauge("wearos_boot_count"),
+	}
+	if reg != nil {
+		for r := DeliveredNoEffect; r <= DeviceRebooted; r++ {
+			m.dispatch[r] = reg.Counter("wearos_dispatch_total", telemetry.L("result", r.String()))
+		}
+	}
+	return m
 }
 
 // New boots a simulated device with the given configuration.
@@ -192,11 +243,19 @@ func New(cfg Config) *OS {
 	if cfg.ANRThreshold <= 0 {
 		cfg.ANRThreshold = 5 * time.Second
 	}
+	var tel *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if !cfg.DisableTelemetry {
+		tel = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(nil, telemetry.DefaultSpanCapacity)
+	}
 	o := &OS{
 		cfg:          cfg,
 		clock:        clock,
 		buf:          buf,
 		log:          log,
+		tel:          tel,
+		tracer:       tracer,
 		reg:          manifest.NewRegistry(),
 		perms:        manifest.NewPermissionRegistry(manifest.StandardPermissions...),
 		router:       binder.NewRouter(),
@@ -217,10 +276,20 @@ func New(cfg Config) *OS {
 	o.sysSrv.restartProcess = func(proc string) {
 		if p := o.procs.kill(proc); p != nil {
 			o.router.SetAlive(p.PID, false)
+			o.osm.procDeaths.Inc()
+			o.osm.liveProcs.Set(float64(o.procs.live()))
 			o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
 				"Killing %d:%s: rejuvenation", p.PID, proc)
 		}
 	}
+	o.osm = newOSMetrics(tel)
+	o.router.SetTelemetry(tel)
+	o.buf.SetTelemetry(tel)
+	o.buf.OnFirstDrop(func(capacity int) {
+		fmt.Fprintf(os.Stderr,
+			"wearos: logcat ring full (capacity %d): oldest lines are being dropped and stay invisible to the analyzer\n",
+			capacity)
+	})
 	o.logBootSequence()
 	return o
 }
@@ -228,6 +297,7 @@ func New(cfg Config) *OS {
 func (o *OS) logBootSequence() {
 	o.bootCount++
 	o.bootTime = o.clock.Now()
+	o.osm.bootCount.Set(float64(o.bootCount))
 	o.log.Log(1, 1, logcat.Info, logcat.TagBoot,
 		"%s booting %s (boot #%d)", o.cfg.DeviceName, o.cfg.OSVersion, o.bootCount)
 	o.log.Log(1000, 1000, logcat.Info, logcat.TagSystemServer, "system_server started")
@@ -258,6 +328,14 @@ func (o *OS) SensorService() *sensors.Service { return o.sensor }
 
 // SystemServer exposes the aging model, mainly for tests and diagnostics.
 func (o *OS) SystemServer() *SystemServer { return o.sysSrv }
+
+// Telemetry returns the device metric registry, or nil when
+// Config.DisableTelemetry is set. The registry is safe to scrape from other
+// goroutines while the (single-threaded) simulation runs.
+func (o *OS) Telemetry() *telemetry.Registry { return o.tel }
+
+// Tracer returns the device span tracer, or nil when telemetry is disabled.
+func (o *OS) Tracer() *telemetry.Tracer { return o.tracer }
 
 // BootCount returns how many times the device has booted (1 = initial
 // boot; each reboot increments it).
@@ -296,6 +374,8 @@ func (o *OS) ensureProcess(pkg string) *Process {
 	uid := UIDAppBase + 1 + len(o.procs.byName)
 	p := o.procs.start(pkg, uid, o.clock.Now())
 	o.router.SetAlive(p.PID, true)
+	o.osm.procStarts.Inc()
+	o.osm.liveProcs.Set(float64(o.procs.live()))
 	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
 		"Start proc %d:%s/u0a%d for activity", p.PID, pkg, uid-UIDAppBase)
 	return p
@@ -324,9 +404,76 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 	if kind == manifest.Service {
 		verb = "startService"
 	}
+	var sp *telemetry.Span
+	if o.tracer != nil && o.dispatchSeq&(spanSampleEvery-1) == 0 {
+		name := "dispatch:START"
+		if kind == manifest.Service {
+			name = "dispatch:startService"
+		}
+		sp = o.tracer.Start(name)
+	}
+	o.dispatchSeq++
+	result := o.deliver(in, kind, verb, sp)
+	sp.End()
+	o.osm.dispatch[result].Inc()
+	o.osm.instability.Set(o.sysSrv.Instability())
+	return result
+}
+
+// deliver runs the Android dispatch checks in order under the dispatch span;
+// permission and handler stages get child spans so a stalled or slow run
+// shows where time went.
+func (o *OS) deliver(in *intent.Intent, kind manifest.ComponentType, verb string, sp *telemetry.Span) DeliveryResult {
 	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
 		"%s u0 %s from uid %d", verb, in.String(), in.SenderUID)
 
+	var pc *telemetry.Span
+	if sp != nil {
+		pc = sp.Child("permission-check")
+	}
+	comp, blocked := o.gate(in, kind)
+	pc.End()
+	if blocked != 0 {
+		return blocked
+	}
+
+	// 4. Process bring-up and delivery bookkeeping.
+	proc := o.ensureProcess(comp.Name.Package)
+	o.lastDeliver[proc.PID] = comp.Name
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"Delivering to %s cmp=%s pid=%d", comp.Type, comp.Name.FlattenToString(), proc.PID)
+
+	// 5. Handler execution.
+	h := o.handlers[comp.Name]
+	var out Outcome
+	if h != nil {
+		var hs *telemetry.Span
+		if sp != nil {
+			hs = sp.Child("handler:" + comp.Name.FlattenToString())
+		}
+		out = h(&Env{PID: proc.PID, Clock: o.clock, Log: o.log}, in)
+		hs.End()
+	}
+	tr := o.traits[comp.Name]
+	var ss *telemetry.Span
+	if sp != nil {
+		ss = sp.Child("settle")
+	}
+	result := o.settle(proc, comp, tr, out)
+	ss.End()
+
+	// 6. Aging consequences are applied; a pending reboot tears the device
+	// down *after* the delivery completes, never mid-dispatch.
+	if o.sysSrv.MaybeReboot() {
+		return DeviceRebooted
+	}
+	return result
+}
+
+// gate applies the pre-delivery Android checks (protected action,
+// resolution, export/permission) and returns either the resolved component
+// or the blocking DeliveryResult (zero when delivery may proceed).
+func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Component, DeliveryResult) {
 	// 1. Protected actions are reserved for the OS; QGJ (an unprivileged
 	// app) sending e.g. ACTION_BATTERY_LOW gets a SecurityException and the
 	// intent is ignored — "the specified and secure behavior" (Section IV-A).
@@ -335,7 +482,7 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 			"Permission Denial: not allowed to send broadcast %s from pid=?, uid=%d", in.Action, in.SenderUID)
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
 			"%s targeting %s", thr.Error(), in.Component.FlattenToString())
-		return BlockedSecurity
+		return nil, BlockedSecurity
 	}
 
 	// 2. Resolution.
@@ -350,7 +497,7 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 			o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
 				"Unable to start service %s: not found", in.Component.FlattenToString())
 		}
-		return BlockedNotFound
+		return nil, BlockedNotFound
 	}
 
 	// 3. Export / permission checks on the target component.
@@ -359,37 +506,16 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 			"Permission Denial: %s not exported from uid %d", comp.Name.FlattenToString(), in.SenderUID)
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
 			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
-		return BlockedSecurity
+		return nil, BlockedSecurity
 	}
 	if comp.Permission != "" && in.SenderUID != UIDSystem {
 		thr := javalang.Newf(javalang.ClassSecurity,
 			"Permission Denial: starting %s requires %s", comp.Name.FlattenToString(), comp.Permission)
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
 			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
-		return BlockedSecurity
+		return nil, BlockedSecurity
 	}
-
-	// 4. Process bring-up and delivery bookkeeping.
-	proc := o.ensureProcess(comp.Name.Package)
-	o.lastDeliver[proc.PID] = comp.Name
-	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"Delivering to %s cmp=%s pid=%d", comp.Type, comp.Name.FlattenToString(), proc.PID)
-
-	// 5. Handler execution.
-	h := o.handlers[comp.Name]
-	var out Outcome
-	if h != nil {
-		out = h(&Env{PID: proc.PID, Clock: o.clock, Log: o.log}, in)
-	}
-	tr := o.traits[comp.Name]
-	result := o.settle(proc, comp, tr, out)
-
-	// 6. Aging consequences are applied; a pending reboot tears the device
-	// down *after* the delivery completes, never mid-dispatch.
-	if o.sysSrv.MaybeReboot() {
-		return DeviceRebooted
-	}
-	return result
+	return comp, 0
 }
 
 // settle converts a handler outcome into logs, process state changes, and a
@@ -403,6 +529,7 @@ func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits,
 	if out.BusyFor > o.cfg.ANRThreshold {
 		proc.busyUntil = o.clock.Now().Add(out.BusyFor)
 		proc.ANRs++
+		o.osm.anrs.Inc()
 		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
 			"ANR in %s (%s)", proc.Name, comp.Name.FlattenToString())
 		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
@@ -465,6 +592,8 @@ func (o *OS) crashProcess(proc *Process, comp *manifest.Component, thr *javalang
 	proc.Crashes++
 	o.procs.kill(proc.Name)
 	o.router.SetAlive(proc.PID, false)
+	o.osm.procDeaths.Inc()
+	o.osm.liveProcs.Set(float64(o.procs.live()))
 	o.dropbox.add(DropBoxEntry{
 		Time: o.clock.Now(), Tag: TagAppCrash,
 		Process: proc.Name, Component: comp.Name,
@@ -481,7 +610,10 @@ func (o *OS) reboot(reason string) {
 		"!!! REBOOTING: %s !!!", reason)
 	for _, p := range o.procs.killAll() {
 		o.router.SetAlive(p.PID, false)
+		o.osm.procDeaths.Inc()
 	}
+	o.osm.liveProcs.Set(float64(o.procs.live()))
+	o.osm.reboots.Inc()
 	o.rebootLog = append(o.rebootLog, o.clock.Now())
 	o.dropbox.add(DropBoxEntry{
 		Time: o.clock.Now(), Tag: TagSystemRestart,

@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/manifest"
 	"repro/internal/notify"
+	"repro/internal/telemetry"
 	"repro/internal/uifuzz"
 	"repro/internal/wearos"
 )
@@ -170,6 +171,28 @@ const (
 	BuiltIn          = manifest.BuiltIn
 	ThirdParty       = manifest.ThirdParty
 )
+
+// --- Telemetry surface ---------------------------------------------------------
+
+// Telemetry aliases. Every device carries a metric registry and a span
+// tracer (os.Telemetry() / os.Tracer()) unless booted with
+// wearos.Config.DisableTelemetry; see docs/observability.md.
+type (
+	// Telemetry is a device's metric registry (counters, gauges, histograms).
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is the expvar-style JSON view of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryServer is a live exposition HTTP server.
+	TelemetryServer = telemetry.Server
+	// Tracer records lightweight spans across the dispatch pipeline.
+	Tracer = telemetry.Tracer
+)
+
+// ServeTelemetry exposes reg (Prometheus text + JSON + pprof) on addr;
+// tracer may be nil. Close the returned server when done.
+func ServeTelemetry(addr string, reg *Telemetry, tracer *Tracer) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg, tracer)
+}
 
 // --- Extension surface ---------------------------------------------------------
 

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification gate: vet, build, and the complete test suite with the
+# race detector (the telemetry registry and exposition endpoint are the
+# only concurrent surfaces; -race keeps them honest).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
