@@ -9,6 +9,14 @@
 //	qgj -app com.strava.wear -campaign B  # fuzz one app with one campaign
 //	qgj -app com.strava.wear -all         # all four campaigns
 //	qgj -logcat                           # dump the watch log afterwards
+//	qgj -all -workers 8 -checkpoint run.ckpt   # farm the whole fleet
+//	qgj -all -workers 8 -checkpoint run.ckpt -resume   # continue a killed run
+//
+// With -workers, -checkpoint, or -resume the run goes through the farm
+// engine (internal/farm): one freshly booted device per (campaign, app)
+// shard, a worker pool, an fsynced checkpoint journal, and crash triage
+// (unique signatures next to raw counts). Without them qgj runs the
+// paper's Figure 1a workflow on a single paired phone+watch.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/farm"
 	"repro/internal/telemetry"
 )
 
@@ -44,8 +53,19 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars, /spans and /debug/pprof on this address (e.g. :9100 or :0)")
 	linger := fs.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the run")
 	progressEvery := fs.Duration("progress", 2*time.Second, "interval between progress lines on stderr (0 disables)")
+	workers := fs.Int("workers", 0, "farm mode: run shards on this many parallel devices (>1 enables the farm)")
+	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
+	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume}
+	if sharding.Enabled() {
+		if *resume && *checkpoint == "" {
+			return fmt.Errorf("-resume requires -checkpoint")
+		}
+		return runFarm(sharding, *seed, *app, *campaign, *all, *quick, *metricsAddr, *linger, *progressEvery, *logDump)
 	}
 
 	phone := device.NewPhone("nexus4")
@@ -126,12 +146,19 @@ func run(args []string) error {
 		})
 		defer stop()
 	}
+	totalSent := 0
 	for _, c := range campaigns {
 		sum, err := mobile.StartFuzz(*app, c, gen)
 		if err != nil {
 			return err
 		}
+		totalSent += sum.Sent
 		fmt.Println(sum.String())
+	}
+	if totalSent == 0 {
+		// A campaign that injected nothing found nothing; exiting 0 here
+		// would let a mis-scoped CI invocation pass silently.
+		return fmt.Errorf("campaign recorded zero injections against %s — no fuzzable components matched", *app)
 	}
 
 	if *logDump {
@@ -140,6 +167,91 @@ func run(args []string) error {
 	if *linger > 0 {
 		fmt.Fprintf(os.Stderr, "qgj: lingering %v for scrapes\n", *linger)
 		time.Sleep(*linger)
+	}
+	return nil
+}
+
+// runFarm executes the sharded campaign on the farm engine and prints the
+// merged per-campaign summaries plus the triage roll-up.
+func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool, quick int, metricsAddr string, linger, progressEvery time.Duration, logDump bool) error {
+	if logDump {
+		fmt.Fprintln(os.Stderr, "qgj: -logcat is ignored in farm mode (each shard boots its own device)")
+	}
+	campaigns := core.AllCampaigns
+	if !all {
+		c, err := core.ParseCampaign(campaign)
+		if err != nil {
+			return err
+		}
+		campaigns = []core.Campaign{c}
+	}
+	gen := core.GeneratorConfig{}
+	if quick > 0 {
+		gen.ActionStride = quick
+		gen.SchemeStride = (quick + 1) / 2
+		gen.RandomVariants = 1
+		gen.ExtrasVariants = 1
+	}
+	cfg := farm.Config{
+		Seed:      seed,
+		Fleet:     apps.WearFleet,
+		Campaigns: campaigns,
+		Gen:       gen,
+		Sharding:  sharding,
+		Telemetry: telemetry.NewRegistry(),
+	}
+	if app != "" {
+		cfg.Packages = []string{app}
+	}
+	if metricsAddr != "" {
+		srv, err := telemetry.Serve(metricsAddr, cfg.Telemetry, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qgj: telemetry on http://%s/metrics\n", srv.Addr)
+	}
+	var prog *telemetry.Progress
+	if progressEvery > 0 {
+		prog = telemetry.NewProgress(os.Stderr, progressEvery)
+		start := time.Now()
+		cfg.Progress = func(done, total int, key farm.ShardKey, sentSoFar int) {
+			rate := float64(sentSoFar) / time.Since(start).Seconds()
+			prog.Tickf("qgj: shard %d/%d (%s) injected=%d (%.0f/s)", done, total, key, sentSoFar, rate)
+		}
+	}
+	res, err := farm.Run(cfg)
+	prog.Flush()
+	if err != nil {
+		return err
+	}
+	if res.Sent == 0 {
+		return fmt.Errorf("campaign recorded zero injections across %d shards", res.Shards)
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "qgj: resumed %d/%d shards from %s\n", res.Resumed, res.Shards, sharding.Checkpoint)
+	}
+	for _, cr := range res.Campaigns {
+		fmt.Printf("campaign %s: sent=%d crashes=%d anrs=%d security=%d reboots=%d\n",
+			cr.Campaign.Letter(), cr.Sent, cr.Report.CrashEvents, cr.Report.ANREvents,
+			cr.Report.SecurityEvents, len(cr.Report.RebootTimes))
+	}
+	fmt.Printf("farm: %d shards, %d workers, %d intents\n", res.Shards, res.Workers, res.Sent)
+	if res.Triage != nil {
+		fmt.Printf("triage: %d unique crash signatures (%d raw crashes)\n", res.Triage.Unique(), res.Triage.Crashes)
+		for _, b := range res.Triage.Buckets {
+			min := ""
+			if b.Minimized != nil {
+				min = " minimized=" + b.Minimized.String()
+			} else if b.Exemplar != nil && b.Exemplar.Intent != nil && !b.Reproduced {
+				min = " (not reproduced on fresh device)"
+			}
+			fmt.Printf("  %016x ×%-4d %s at %s%s\n", b.Hash, b.Count, b.Class, b.Frame, min)
+		}
+	}
+	if linger > 0 {
+		fmt.Fprintf(os.Stderr, "qgj: lingering %v for scrapes\n", linger)
+		time.Sleep(linger)
 	}
 	return nil
 }

@@ -39,8 +39,15 @@ func run(args []string) error {
 	ablations := fs.Bool("ablations", false, "also run the extension studies (aging ablations, rejuvenation, validation eras)")
 	jsonOut := fs.String("json", "", "also write machine-readable artifacts to this file (wear+phone+ui exports)")
 	progress := fs.Bool("progress", false, "print rate-limited study progress to stderr")
+	workers := fs.Int("workers", 0, "run the wear/phone studies on the farm engine with this many parallel devices (>1 enables sharding)")
+	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
+	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	var prog *telemetry.Progress
@@ -77,12 +84,19 @@ func run(args []string) error {
 	if needWear {
 		start := time.Now()
 		var err error
-		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB})
+		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: sharding})
+		// Flush the last rate-limited heartbeat so the final counts are not
+		// swallowed when the study ends between ticks.
+		prog.Flush()
 		if err != nil {
 			return fmt.Errorf("wear study: %w", err)
 		}
 		fmt.Printf("[wear study: %d intents, %d reboots, %v]\n\n",
 			wear.Sent, wear.Reboots(), time.Since(start).Round(time.Millisecond))
+		if wear.Triage != nil {
+			fmt.Printf("[wear triage: %d unique crash signatures / %d raw crashes]\n\n",
+				wear.Triage.Unique(), wear.Triage.Crashes)
+		}
 	}
 	if sel("tab2") {
 		fmt.Println(report.TableII(experiments.TableII(wear.Fleet)))
@@ -105,7 +119,13 @@ func run(args []string) error {
 
 	if needPhone {
 		start := time.Now()
-		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB})
+		// The phone study never shares the wear study's checkpoint file — a
+		// journal fingerprints exactly one shard plan.
+		phoneSharding := sharding
+		phoneSharding.Checkpoint = ""
+		phoneSharding.Resume = false
+		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: phoneSharding})
+		prog.Flush()
 		if err != nil {
 			return fmt.Errorf("phone study: %w", err)
 		}
@@ -132,7 +152,7 @@ func run(args []string) error {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSONArtifacts(*jsonOut, *seed, gen, *uiEvents); err != nil {
+		if err := writeJSONArtifacts(*jsonOut, *seed, gen, *uiEvents, sharding); err != nil {
 			return err
 		}
 		fmt.Printf("[machine-readable artifacts written to %s]\n", *jsonOut)
@@ -141,13 +161,16 @@ func run(args []string) error {
 }
 
 // writeJSONArtifacts re-runs the three studies and writes their exports as
-// one JSON document.
-func writeJSONArtifacts(path string, seed uint64, gen core.GeneratorConfig, uiEvents int) error {
-	wear, err := experiments.RunWearStudy(experiments.Options{Seed: seed, Gen: gen})
+// one JSON document. The export runs never reuse the CLI's checkpoint file
+// (a journal fingerprints exactly one shard plan), only its worker count.
+func writeJSONArtifacts(path string, seed uint64, gen core.GeneratorConfig, uiEvents int, sharding core.Sharding) error {
+	sharding.Checkpoint = ""
+	sharding.Resume = false
+	wear, err := experiments.RunWearStudy(experiments.Options{Seed: seed, Gen: gen, Sharding: sharding})
 	if err != nil {
 		return fmt.Errorf("wear study for JSON export: %w", err)
 	}
-	phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: seed, Gen: gen})
+	phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: seed, Gen: gen, Sharding: sharding})
 	if err != nil {
 		return fmt.Errorf("phone study for JSON export: %w", err)
 	}

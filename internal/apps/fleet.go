@@ -144,6 +144,29 @@ func (f *Fleet) params(p *manifest.Package) *populationParams {
 // the *which components, which defects, which exception classes* remain
 // stochastic under the fleet seed.
 func (f *Fleet) sampleAll() {
+	crashy := f.crashyQuota()
+	for _, p := range f.Packages {
+		f.samplePackage(p, crashy[p.Name])
+	}
+}
+
+// sampleOnly samples behaviour for just the named package. The crashy
+// quota draw still covers the whole population — it decides whether this
+// package is crashy — but the per-component sampling, the expensive step,
+// is skipped for everything else. Component streams are label-split from
+// the seed, not sequence-dependent, so the sampled behaviour is identical
+// to what a full sampleAll produces for the same package.
+func (f *Fleet) sampleOnly(name string) error {
+	p := f.Package(name)
+	if p == nil {
+		return fmt.Errorf("package %q not in the %s fleet", name, f.Kind)
+	}
+	f.samplePackage(p, f.crashyQuota()[p.Name])
+	return nil
+}
+
+// crashyQuota runs the per-origin quota draw over the whole population.
+func (f *Fleet) crashyQuota() map[string]bool {
 	r := rng.New(f.Seed).Split("behaviors")
 
 	// Partition apps by origin for the quota draw.
@@ -161,17 +184,47 @@ func (f *Fleet) sampleAll() {
 			crashy[order[i].Name] = true
 		}
 	}
+	return crashy
+}
 
-	for _, p := range f.Packages {
-		params := f.params(p)
-		for _, c := range p.Components {
-			cr := r.Split("comp:" + c.Name.FlattenToString())
-			f.behaviors[c.Name] = sampleBehavior(c.Name, params, crashy[p.Name], cr)
-			f.traits[c.Name] = wearos.ComponentTraits{
-				UsesSensorManager: p.UsesSensorManager,
-			}
+// samplePackage samples every component of one package.
+func (f *Fleet) samplePackage(p *manifest.Package, crashy bool) {
+	r := rng.New(f.Seed).Split("behaviors")
+	params := f.params(p)
+	for _, c := range p.Components {
+		cr := r.Split("comp:" + c.Name.FlattenToString())
+		f.behaviors[c.Name] = sampleBehavior(c.Name, params, crashy, cr)
+		f.traits[c.Name] = wearos.ComponentTraits{
+			UsesSensorManager: p.UsesSensorManager,
 		}
 	}
+}
+
+// BuildFleetPackage materializes the population of the given kind with
+// behaviour sampled only for the named package. Farm shards fuzz one
+// package per freshly booted device; skipping the rest of the population's
+// behaviour sampling cuts shard startup cost while keeping the target's
+// behaviour bit-identical to the full build (asserted by
+// TestBuildFleetPackageMatchesFullBuild).
+func BuildFleetPackage(kind FleetKind, seed uint64, pkg string) (*Fleet, error) {
+	var f *Fleet
+	switch kind {
+	case WearFleet:
+		f = newFleet(WearFleet, seed, wearPopulation())
+	case PhoneFleet:
+		f = newFleet(PhoneFleet, seed, phonePopulation())
+	case LegacyPhoneFleet:
+		f = newFleet(LegacyPhoneFleet, seed, phonePopulation())
+	default:
+		return nil, fmt.Errorf("apps: no single-package build for fleet kind %s", kind)
+	}
+	if err := f.sampleOnly(pkg); err != nil {
+		return nil, err
+	}
+	if kind == WearFleet {
+		f.applyWearScenarios()
+	}
+	return f, nil
 }
 
 // Behavior exposes a component's behaviour model (tests and scenario
@@ -237,16 +290,38 @@ func (f *Fleet) Stats(cat manifest.AppCategory, origin manifest.Origin) manifest
 // on the device.
 func (f *Fleet) InstallInto(dev *wearos.OS) error {
 	for _, p := range f.Packages {
-		if err := dev.InstallPackage(p); err != nil {
-			return fmt.Errorf("install %s: %w", p.Name, err)
+		if err := f.installPackage(dev, p); err != nil {
+			return err
 		}
-		for _, c := range p.Components {
-			b := f.behaviors[c.Name]
-			if b == nil {
-				continue
-			}
-			dev.RegisterHandler(c.Name, b.handler(c.Type), f.traits[c.Name])
+	}
+	return nil
+}
+
+// InstallPackageInto installs a single fleet package (and its handlers) on
+// the device. Farm shards fuzz exactly one package per device, so they skip
+// the other installs; the package's sampled behaviour is identical either
+// way because every component's model derives from its own RNG split.
+func (f *Fleet) InstallPackageInto(dev *wearos.OS, name string) (*manifest.Package, error) {
+	p := f.Package(name)
+	if p == nil {
+		return nil, fmt.Errorf("package %q not in the %s fleet", name, f.Kind)
+	}
+	if err := f.installPackage(dev, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (f *Fleet) installPackage(dev *wearos.OS, p *manifest.Package) error {
+	if err := dev.InstallPackage(p); err != nil {
+		return fmt.Errorf("install %s: %w", p.Name, err)
+	}
+	for _, c := range p.Components {
+		b := f.behaviors[c.Name]
+		if b == nil {
+			continue
 		}
+		dev.RegisterHandler(c.Name, b.handler(c.Type), f.traits[c.Name])
 	}
 	return nil
 }

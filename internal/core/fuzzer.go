@@ -40,6 +40,12 @@ type Injector struct {
 	// Progress, when non-nil, receives a callback after every injection
 	// (UI feedback in the QGJ apps; cheap counters in the experiments).
 	Progress func(sent int)
+	// Observe, when non-nil, receives every injected intent together with
+	// its delivery result, after the delivery settled. The farm's triage
+	// pipeline uses it to pair crashing intents with the FATAL EXCEPTION
+	// block they produced. The intent must be treated as read-only; clone it
+	// to retain it beyond the callback.
+	Observe func(in *intent.Intent, res wearos.DeliveryResult)
 }
 
 // ComponentRun summarizes the injections against one component.
@@ -141,6 +147,9 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 		}
 		run.Results[res]++
 		run.Sent++
+		if inj.Observe != nil {
+			inj.Observe(in, res)
+		}
 		clock.Advance(InterIntentDelay)
 		if run.Sent%BatchSize == 0 {
 			progress.Set(float64(run.Sent))

@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/logcat"
 	"repro/internal/manifest"
+	"repro/internal/telemetry"
+	"repro/internal/triage"
 	"repro/internal/wearos"
 )
 
@@ -25,8 +27,19 @@ type Options struct {
 	// Packages optionally restricts the run to the named packages (tests);
 	// nil fuzzes the whole fleet.
 	Packages []string
+	// Campaigns optionally restricts the run to the listed FICs; nil runs
+	// all four in Table I order.
+	Campaigns []core.Campaign
 	// Progress, when non-nil, is called after each (campaign, app) unit.
 	Progress func(campaign core.Campaign, pkg string, sentSoFar int)
+	// Sharding, when enabled (workers > 1 or a checkpoint path), routes the
+	// study through the farm engine: device-per-shard parallel execution
+	// with checkpoint/resume and crash triage. See docs/farm.md for how the
+	// farm's results relate to the serial single-device study.
+	Sharding core.Sharding
+	// Telemetry, when non-nil, receives farm execution metrics (farm mode
+	// only; the serial path's device carries its own registry).
+	Telemetry *telemetry.Registry
 }
 
 // CampaignOutcome holds the per-campaign view needed for Table III.
@@ -40,12 +53,27 @@ type CampaignOutcome struct {
 
 // StudyResult is the complete outcome of one fuzzing study.
 type StudyResult struct {
-	Fleet     *apps.Fleet
+	Fleet *apps.Fleet
+	// Device is the single simulated device of a serial run; nil for farm
+	// runs, which boot one device per shard.
 	Device    *wearos.OS
 	Campaigns []CampaignOutcome
 	// Combined merges the per-campaign reports (Figs. 2-4, Table IV).
 	Combined *analysis.Report
 	Sent     int
+	// Triage holds deduplicated crash buckets (farm runs only; nil for the
+	// serial path).
+	Triage *triage.Result
+	// Sharding describes how a farm run executed; nil for serial runs.
+	Sharding *ShardingInfo
+}
+
+// ShardingInfo records how a farm-backed study was executed.
+type ShardingInfo struct {
+	Workers    int
+	Shards     int
+	Resumed    int
+	Checkpoint string
 }
 
 // Reboots returns how many device reboots occurred across the study.
@@ -80,8 +108,12 @@ func (s *switchSink) Consume(e logcat.Entry) {
 }
 
 // RunWearStudy executes the QGJ-Master study on the simulated watch: all
-// four campaigns against the Table II fleet.
+// four campaigns against the Table II fleet. With sharding enabled the
+// study runs on the farm engine instead of a single device.
 func RunWearStudy(opts Options) (*StudyResult, error) {
+	if opts.Sharding.Enabled() {
+		return runFarmStudy(apps.WearFleet, opts)
+	}
 	fleet := apps.BuildWearFleet(opts.Seed)
 	dev := wearos.New(wearos.DefaultWatchConfig())
 	return runStudy(fleet, dev, opts)
@@ -90,6 +122,9 @@ func RunWearStudy(opts Options) (*StudyResult, error) {
 // RunPhoneStudy executes the comparison study on the simulated Android
 // phone (Table IV).
 func RunPhoneStudy(opts Options) (*StudyResult, error) {
+	if opts.Sharding.Enabled() {
+		return runFarmStudy(apps.PhoneFleet, opts)
+	}
 	fleet := apps.BuildPhoneFleet(opts.Seed)
 	dev := wearos.New(wearos.DefaultPhoneConfig())
 	return runStudy(fleet, dev, opts)
@@ -121,8 +156,12 @@ func runStudy(fleet *apps.Fleet, dev *wearos.OS, opts Options) (*StudyResult, er
 	gen.Seed = opts.Seed
 	inj := &core.Injector{Dev: dev, Cfg: gen}
 
+	campaigns := opts.Campaigns
+	if len(campaigns) == 0 {
+		campaigns = core.AllCampaigns
+	}
 	result := &StudyResult{Fleet: fleet, Device: dev, Combined: analysis.AnalyzeEntries(nil)}
-	for _, campaign := range core.AllCampaigns {
+	for _, campaign := range campaigns {
 		col := analysis.NewCollector()
 		sink.target = col
 		outcome := CampaignOutcome{Campaign: campaign}

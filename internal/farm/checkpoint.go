@@ -1,0 +1,179 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The checkpoint journal mirrors the paper's reboot-resume scripts: the real
+// study ran 1000-intent chunks and a watchdog script restarted the campaign
+// from the last completed chunk after every device reboot. Here a chunk is
+// one shard (campaign × package on a fresh device); the coordinator appends
+// one fsynced JSON line per completed shard, so a SIGKILL at any instant
+// loses at most the shard in flight, and -resume replays the journal instead
+// of re-executing finished shards.
+//
+// Format (JSON lines):
+//
+//	line 1:  journalHeader — version, plan fingerprint, shard count
+//	line 2+: journalRecord — one completed shard with its full merge inputs
+//
+// A truncated final line (the SIGKILL artifact) is detected and ignored on
+// load. The header fingerprint covers everything that shapes the shard plan
+// (seed, fleet, campaigns, targets, generator scaling), so a journal can
+// never be resumed against a run it does not describe.
+
+// journalVersion is bumped on any incompatible format change.
+const journalVersion = 1
+
+// journalHeader is the first line of a checkpoint file.
+type journalHeader struct {
+	Version     int    `json:"v"`
+	Fingerprint uint64 `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	Seed        uint64 `json:"seed"`
+	Fleet       string `json:"fleet"`
+}
+
+// journalRecord is one completed shard.
+type journalRecord struct {
+	Index     int          `json:"index"`
+	Key       ShardKey     `json:"key"`
+	Seed      uint64       `json:"seed"`
+	Sent      int          `json:"sent"`
+	BootCount int          `json:"bootCount"`
+	Summary   core.Summary `json:"summary"`
+	Report    reportJSON   `json:"report"`
+	Crashes   []crashJSON  `json:"crashes,omitempty"`
+}
+
+// fingerprint hashes the run parameters that determine the shard plan and
+// per-shard outcomes. Workers is deliberately excluded: the determinism
+// contract makes results independent of worker count, so a journal written
+// by -workers 8 resumes fine under -workers 1 and vice versa.
+func fingerprint(seed uint64, fleet string, shards []ShardKey, gen core.GeneratorConfig) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|seed=%d|fleet=%s|gen=%d,%d,%d,%d|", journalVersion, seed, fleet,
+		gen.ActionStride, gen.SchemeStride, gen.RandomVariants, gen.ExtrasVariants)
+	for _, k := range shards {
+		fmt.Fprintf(h, "%s;", k.String())
+	}
+	return h.Sum64()
+}
+
+// journal is the append-side of a checkpoint file. Safe for concurrent
+// appends from worker goroutines.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// createJournal starts a fresh checkpoint file (truncating any previous
+// content) and writes the header.
+func createJournal(path string, h journalHeader) (*journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("farm: create checkpoint: %w", err)
+	}
+	j := &journal{f: f}
+	if err := j.appendLine(h); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openJournalAppend reopens an existing checkpoint for further records,
+// first truncating it to validLen so a torn trailing record from the killed
+// run cannot run into the next append.
+func openJournalAppend(path string, validLen int64) (*journal, error) {
+	if err := os.Truncate(path, validLen); err != nil {
+		return nil, fmt.Errorf("farm: trim torn checkpoint tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: reopen checkpoint: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// appendLine marshals v, appends it as one line, and fsyncs so the record
+// survives a SIGKILL (durability is the whole point of the journal).
+func (j *journal) appendLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("farm: encode checkpoint record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("farm: write checkpoint record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("farm: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// isNotExist reports whether err means the checkpoint file is absent (a
+// -resume against a path that was never written starts a fresh run).
+func isNotExist(err error) bool { return os.IsNotExist(err) }
+
+// loadJournal reads a checkpoint file, tolerating a truncated tail: the
+// first malformed or unterminated line ends the replay (everything after it
+// was in flight when the run died). Records for the same shard index keep
+// the last occurrence. validLen is the byte length of the durable prefix;
+// the resume path truncates the file to it before appending, so a torn
+// partial record never corrupts the next journal line.
+func loadJournal(path string) (journalHeader, map[int]journalRecord, int64, error) {
+	var hdr journalHeader
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hdr, nil, 0, err
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return hdr, nil, 0, fmt.Errorf("farm: checkpoint %s is empty", path)
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return hdr, nil, 0, fmt.Errorf("farm: checkpoint %s: bad header: %w", path, err)
+	}
+	if hdr.Version != journalVersion {
+		return hdr, nil, 0, fmt.Errorf("farm: checkpoint %s: version %d, want %d", path, hdr.Version, journalVersion)
+	}
+	done := make(map[int]journalRecord)
+	validLen := int64(len(lines[0]))
+	for _, line := range lines[1:] {
+		// appendLine writes record+newline in one call, so an unterminated
+		// line is by definition a torn write — even if it happens to parse.
+		if !strings.HasSuffix(line, "\n") {
+			break
+		}
+		if strings.TrimSpace(line) == "" {
+			validLen += int64(len(line))
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// Truncated tail: the run was killed mid-append. Everything up
+			// to here is durable; the partial record is re-executed.
+			break
+		}
+		done[rec.Index] = rec
+		validLen += int64(len(line))
+	}
+	return hdr, done, validLen, nil
+}

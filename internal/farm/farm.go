@@ -1,0 +1,570 @@
+// Package farm is the campaign execution engine: it shards a fuzz study
+// into independent (campaign, package) work units, runs them on a pool of
+// worker goroutines — each unit on a freshly booted simulated device with
+// its own fleet instance — journals progress to a checkpoint file after
+// every completed shard, and merges the per-shard analysis results into a
+// single report.
+//
+// The determinism contract (docs/farm.md): for a fixed seed and shard plan,
+// the merged result is byte-identical for any worker count and across any
+// kill/resume sequence. Three properties make that hold:
+//
+//  1. Intent generation splits a fresh SplitMix64 stream per shard
+//     (rng.Split on the shard key), so no shard's randomness depends on
+//     execution order.
+//  2. Every shard boots its own device and builds its own fleet from the
+//     study seed, so no simulator or behaviour-model state leaks between
+//     shards or workers.
+//  3. Merging happens in canonical shard-plan order after all shards
+//     complete, regardless of completion order.
+//
+// The simulated device itself stays single-threaded; parallelism exists
+// only between devices, which is exactly how the paper's physical campaigns
+// would scale across watches.
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/manifest"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/triage"
+	"repro/internal/wearos"
+)
+
+// Config parameterizes one farm run.
+type Config struct {
+	// Seed drives fleet construction and the per-shard generator splits.
+	Seed uint64
+	// Fleet selects the population (zero value = the wear fleet).
+	Fleet apps.FleetKind
+	// Campaigns lists the FICs to run (nil = all four, in Table I order).
+	Campaigns []core.Campaign
+	// Packages optionally restricts the run to the named packages; nil
+	// fuzzes the whole fleet. Order is irrelevant — the shard plan always
+	// follows fleet order.
+	Packages []string
+	// Gen scales generation. Gen.Seed is ignored: each shard derives its
+	// seed from Config.Seed via rng.Split on the shard key.
+	Gen core.GeneratorConfig
+	// Sharding sets worker count and checkpoint behaviour.
+	Sharding core.Sharding
+	// DisableTriage skips crash bucketing and intent minimization.
+	DisableTriage bool
+	// Telemetry, when non-nil, receives farm execution metrics (shard
+	// gauges, per-campaign intent counters, shard/merge latency
+	// histograms). Per-shard devices run with device telemetry disabled —
+	// their registries would be unscrapable anyway — so this registry is
+	// the farm's single observability surface.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, is called after every completed shard with
+	// the cumulative completed/total counts and intents sent so far. Calls
+	// are serialized but arrive in completion order, not plan order.
+	Progress func(done, total int, key ShardKey, sentSoFar int)
+}
+
+// ShardKey identifies one work unit: one campaign against one package.
+type ShardKey struct {
+	Campaign core.Campaign `json:"campaign"`
+	Package  string        `json:"package"`
+}
+
+// String renders "A/com.foo.bar" — also the rng.Split label for the shard.
+func (k ShardKey) String() string { return k.Campaign.Letter() + "/" + k.Package }
+
+// ShardResult is everything one completed shard contributes to the merge.
+type ShardResult struct {
+	Key       ShardKey
+	Seed      uint64
+	Sent      int
+	BootCount int
+	Summary   core.Summary
+	Report    *analysis.Report
+	Crashes   []*triage.Crash
+}
+
+// CampaignResult is the merged per-campaign view (Table III's unit).
+type CampaignResult struct {
+	Campaign  core.Campaign
+	Report    *analysis.Report
+	Sent      int
+	Summaries []core.Summary
+}
+
+// Result is the merged outcome of a farm run.
+type Result struct {
+	// Fleet is the canonical fleet instance (metadata: categories, origins).
+	Fleet     *apps.Fleet
+	Campaigns []CampaignResult
+	// Combined merges the per-campaign reports.
+	Combined *analysis.Report
+	Sent     int
+	// Shards is the plan size; Resumed counts shards restored from the
+	// checkpoint journal instead of executed.
+	Shards  int
+	Resumed int
+	Workers int
+	// Triage holds deduplicated crash buckets (nil when DisableTriage).
+	Triage *triage.Result
+}
+
+// farmMetrics caches the engine's metric handles (all nil-safe no-ops when
+// Config.Telemetry is nil).
+type farmMetrics struct {
+	shardsTotal  *telemetry.Gauge
+	inflight     *telemetry.Gauge
+	workers      *telemetry.Gauge
+	done         *telemetry.Counter
+	resumed      *telemetry.Counter
+	intents      *telemetry.Counter
+	shardSeconds *telemetry.Histogram
+	mergeSeconds *telemetry.Histogram
+	crashesRaw   *telemetry.Gauge
+	crashBuckets *telemetry.Gauge
+}
+
+func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
+	return farmMetrics{
+		shardsTotal:  reg.Gauge("farm_shards_total"),
+		inflight:     reg.Gauge("farm_shards_inflight"),
+		workers:      reg.Gauge("farm_workers"),
+		done:         reg.Counter("farm_shards_done_total"),
+		resumed:      reg.Counter("farm_shards_resumed_total"),
+		intents:      reg.Counter("farm_intents_total"),
+		shardSeconds: reg.Histogram("farm_shard_seconds", telemetry.DefLatencyBuckets),
+		mergeSeconds: reg.Histogram("farm_merge_seconds", telemetry.DefLatencyBuckets),
+		crashesRaw:   reg.Gauge("farm_crashes_raw"),
+		crashBuckets: reg.Gauge("farm_crash_buckets"),
+	}
+}
+
+// buildFleet materializes the population for the given kind. Each shard
+// calls this for itself: behaviour models are stateful, so sharing a fleet
+// between devices would leak state across shards and break determinism.
+func buildFleet(kind apps.FleetKind, seed uint64) (*apps.Fleet, error) {
+	switch kind {
+	case apps.WearFleet, 0:
+		return apps.BuildWearFleet(seed), nil
+	case apps.PhoneFleet:
+		return apps.BuildPhoneFleet(seed), nil
+	case apps.LegacyPhoneFleet:
+		return apps.BuildLegacyPhoneFleet(seed), nil
+	default:
+		return nil, fmt.Errorf("farm: unsupported fleet kind %s (intent campaigns only)", kind)
+	}
+}
+
+// deviceConfig returns the per-shard device configuration. Device-level
+// telemetry is disabled: shard devices are ephemeral and their registries
+// unreachable, and PR 1's perturbation tests guarantee telemetry does not
+// affect simulation outcomes either way.
+func deviceConfig(kind apps.FleetKind) wearos.Config {
+	var cfg wearos.Config
+	switch kind {
+	case apps.PhoneFleet, apps.LegacyPhoneFleet:
+		cfg = wearos.DefaultPhoneConfig()
+	default:
+		cfg = wearos.DefaultWatchConfig()
+	}
+	cfg.DisableTelemetry = true
+	return cfg
+}
+
+// Run executes the farm: plan, resume, fan out, journal, merge, triage.
+func Run(cfg Config) (*Result, error) {
+	campaigns := cfg.Campaigns
+	if len(campaigns) == 0 {
+		campaigns = core.AllCampaigns
+	}
+	fleetKind := cfg.Fleet
+	if fleetKind == 0 {
+		fleetKind = apps.WearFleet
+	}
+	fleet, err := buildFleet(fleetKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := selectTargets(fleet, cfg.Packages)
+	if err != nil {
+		return nil, err
+	}
+
+	// Canonical shard plan: campaign-major, fleet order within a campaign.
+	var plan []ShardKey
+	for _, c := range campaigns {
+		for _, p := range targets {
+			plan = append(plan, ShardKey{Campaign: c, Package: p.Name})
+		}
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("farm: empty shard plan (no packages matched)")
+	}
+	fp := fingerprint(cfg.Seed, fleetKind.String(), plan, cfg.Gen)
+
+	met := newFarmMetrics(cfg.Telemetry)
+	workers := cfg.Sharding.NormalizedWorkers()
+	met.shardsTotal.Set(float64(len(plan)))
+	met.workers.Set(float64(workers))
+
+	results := make([]*ShardResult, len(plan))
+	resumed := 0
+	var jnl *journal
+	if cfg.Sharding.Checkpoint != "" {
+		jnl, resumed, err = prepareCheckpoint(cfg, fp, fleetKind, plan, results)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+		met.resumed.Add(uint64(resumed))
+	}
+
+	if err := runPending(cfg, fleetKind, plan, results, jnl, workers, met); err != nil {
+		return nil, err
+	}
+
+	res := merge(fleet, campaigns, plan, results, met)
+	res.Resumed = resumed
+	res.Workers = workers
+	if !cfg.DisableTriage {
+		res.Triage = triageCrashes(fleetKind, cfg.Seed, fleet, results)
+		met.crashesRaw.Set(float64(res.Triage.Crashes))
+		met.crashBuckets.Set(float64(res.Triage.Unique()))
+	}
+	return res, nil
+}
+
+// selectTargets filters the fleet packages, preserving fleet order, and
+// rejects names that match nothing (a typo'd -app must not silently produce
+// an empty campaign).
+func selectTargets(fleet *apps.Fleet, names []string) ([]*manifest.Package, error) {
+	if len(names) == 0 {
+		return fleet.Packages, nil
+	}
+	allow := make(map[string]bool, len(names))
+	for _, n := range names {
+		allow[n] = true
+	}
+	var out []*manifest.Package
+	for _, p := range fleet.Packages {
+		if allow[p.Name] {
+			out = append(out, p)
+			delete(allow, p.Name)
+		}
+	}
+	for n := range allow {
+		return nil, fmt.Errorf("farm: package %q not in the %s fleet", n, fleet.Kind)
+	}
+	return out, nil
+}
+
+// prepareCheckpoint loads (on resume) or creates the journal, restores
+// completed shards into results, and returns the append handle.
+func prepareCheckpoint(cfg Config, fp uint64, kind apps.FleetKind, plan []ShardKey, results []*ShardResult) (*journal, int, error) {
+	path := cfg.Sharding.Checkpoint
+	hdr := journalHeader{
+		Version:     journalVersion,
+		Fingerprint: fp,
+		Shards:      len(plan),
+		Seed:        cfg.Seed,
+		Fleet:       kind.String(),
+	}
+	if cfg.Sharding.Resume {
+		prev, done, validLen, err := loadJournal(path)
+		switch {
+		case err == nil:
+			if prev.Fingerprint != fp {
+				return nil, 0, fmt.Errorf(
+					"farm: checkpoint %s was written by a different run (fingerprint %016x, want %016x); refusing to resume",
+					path, prev.Fingerprint, fp)
+			}
+			resumed := 0
+			for idx, rec := range done {
+				if idx < 0 || idx >= len(plan) || plan[idx] != rec.Key {
+					return nil, 0, fmt.Errorf("farm: checkpoint %s: record %d does not match the shard plan", path, idx)
+				}
+				results[idx] = &ShardResult{
+					Key:       rec.Key,
+					Seed:      rec.Seed,
+					Sent:      rec.Sent,
+					BootCount: rec.BootCount,
+					Summary:   rec.Summary,
+					Report:    rec.Report.restore(),
+					Crashes:   restoreCrashes(rec.Crashes),
+				}
+				resumed++
+			}
+			jnl, err := openJournalAppend(path, validLen)
+			return jnl, resumed, err
+		case isNotExist(err):
+			// Resuming a run that never started is a fresh run.
+			jnl, err := createJournal(path, hdr)
+			return jnl, 0, err
+		default:
+			return nil, 0, err
+		}
+	}
+	jnl, err := createJournal(path, hdr)
+	return jnl, 0, err
+}
+
+// runPending executes every shard without a result yet on a worker pool and
+// journals each completion.
+func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, results []*ShardResult, jnl *journal, workers int, met farmMetrics) error {
+	var pending []int
+	sent := 0
+	done := 0
+	for i, r := range results {
+		if r == nil {
+			pending = append(pending, i)
+		} else {
+			sent += r.Sent
+			done++
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	idxCh := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards results/sent/done/journal append/progress
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if failed() {
+					continue // drain
+				}
+				met.inflight.Add(1)
+				start := time.Now()
+				sr, err := runShard(cfg, kind, plan[idx])
+				met.shardSeconds.Observe(time.Since(start).Seconds())
+				met.inflight.Add(-1)
+				if err != nil {
+					fail(fmt.Errorf("farm: shard %s: %w", plan[idx], err))
+					continue
+				}
+				met.done.Inc()
+				met.intents.Add(uint64(sr.Sent))
+				mu.Lock()
+				results[idx] = sr
+				sent += sr.Sent
+				done++
+				var jerr error
+				if jnl != nil {
+					jerr = jnl.appendLine(journalRecord{
+						Index:     idx,
+						Key:       sr.Key,
+						Seed:      sr.Seed,
+						Sent:      sr.Sent,
+						BootCount: sr.BootCount,
+						Summary:   sr.Summary,
+						Report:    exportReport(sr.Report),
+						Crashes:   exportCrashes(sr.Crashes),
+					})
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(done, len(plan), sr.Key, sent)
+				}
+				mu.Unlock()
+				if jerr != nil {
+					fail(jerr)
+				}
+			}
+		}()
+	}
+	for _, idx := range pending {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+	return firstErr
+}
+
+// runShard executes one work unit in full isolation: fresh fleet, fresh
+// device, own collectors. The shard's generator seed is a SplitMix64 split
+// of the study seed on the shard key, so generation is independent of
+// execution order and worker count.
+func runShard(cfg Config, kind apps.FleetKind, key ShardKey) (*ShardResult, error) {
+	// Only the shard's own package gets sampled and installed: the injector
+	// never targets anything else, and the single-package build is
+	// bit-identical for the target (apps.BuildFleetPackage), so shard
+	// startup stays cheap without touching results.
+	fleet, err := apps.BuildFleetPackage(kind, cfg.Seed, key.Package)
+	if err != nil {
+		return nil, err
+	}
+	dev := wearos.New(deviceConfig(kind))
+	pkg, err := fleet.InstallPackageInto(dev, key.Package)
+	if err != nil {
+		return nil, err
+	}
+
+	col := analysis.NewCollector()
+	dev.Logcat().Subscribe(col)
+	var tri *triage.Collector
+	if !cfg.DisableTriage {
+		tri = triage.NewCollector()
+		dev.Logcat().Subscribe(tri)
+	}
+
+	gen := cfg.Gen
+	gen.Seed = rng.New(cfg.Seed).Split("farm-shard-" + key.String()).Uint64()
+	inj := &core.Injector{Dev: dev, Cfg: gen}
+	if tri != nil {
+		inj.Observe = func(in *intent.Intent, res wearos.DeliveryResult) {
+			if res == wearos.DeliveredCrash {
+				tri.AttachIntent(in)
+			}
+		}
+	}
+	run := inj.FuzzApp(key.Campaign, pkg)
+
+	sr := &ShardResult{
+		Key:       key,
+		Seed:      gen.Seed,
+		Sent:      run.Sent,
+		BootCount: dev.BootCount(),
+		Summary:   core.Summarize(run, dev.BootCount()),
+		Report:    col.Report(),
+	}
+	if tri != nil {
+		sr.Crashes = tri.Crashes()
+	}
+	return sr, nil
+}
+
+// merge folds the shard results, in canonical plan order, into per-campaign
+// and combined reports. Plan order is campaign-major, so each campaign's
+// shards are a contiguous run.
+func merge(fleet *apps.Fleet, campaigns []core.Campaign, plan []ShardKey, results []*ShardResult, met farmMetrics) *Result {
+	start := time.Now()
+	defer func() { met.mergeSeconds.Observe(time.Since(start).Seconds()) }()
+
+	res := &Result{Fleet: fleet, Combined: analysis.AnalyzeEntries(nil), Shards: len(plan)}
+	byCampaign := make(map[core.Campaign]*CampaignResult, len(campaigns))
+	for _, c := range campaigns {
+		cr := &CampaignResult{Campaign: c, Report: analysis.AnalyzeEntries(nil)}
+		byCampaign[c] = cr
+	}
+	for i, key := range plan {
+		sr := results[i]
+		cr := byCampaign[key.Campaign]
+		cr.Report.Merge(sr.Report)
+		cr.Sent += sr.Sent
+		cr.Summaries = append(cr.Summaries, sr.Summary)
+	}
+	for _, c := range campaigns {
+		cr := byCampaign[c]
+		res.Campaigns = append(res.Campaigns, *cr)
+		res.Combined.Merge(cr.Report)
+		res.Sent += cr.Sent
+	}
+	return res
+}
+
+// triageCrashes buckets every crash across the run (canonical shard order)
+// and greedily minimizes one reproducer per bucket on a fresh oracle
+// device. Runs after the merge, serially, so its output is as deterministic
+// as the merge itself.
+func triageCrashes(kind apps.FleetKind, seed uint64, fleet *apps.Fleet, results []*ShardResult) *triage.Result {
+	var all []*triage.Crash
+	for _, sr := range results {
+		all = append(all, sr.Crashes...)
+	}
+	res := triage.Bucketize(all)
+	for i := range res.Buckets {
+		minimizeBucket(kind, seed, fleet, &res.Buckets[i])
+	}
+	return res
+}
+
+// minimizeBucket reduces the bucket's exemplar intent while the same stack
+// bucket keeps reproducing on a freshly booted device.
+func minimizeBucket(kind apps.FleetKind, seed uint64, fleet *apps.Fleet, b *triage.Bucket) {
+	exemplar := b.Exemplar
+	if exemplar == nil || exemplar.Intent == nil {
+		return
+	}
+	ctype, ok := componentType(fleet, exemplar.Intent.Component)
+	if !ok {
+		return
+	}
+	oracleFleet, err := apps.BuildFleetPackage(kind, seed, exemplar.Intent.Component.Package)
+	if err != nil {
+		return
+	}
+	dev := wearos.New(deviceConfig(kind))
+	if _, err := oracleFleet.InstallPackageInto(dev, exemplar.Intent.Component.Package); err != nil {
+		return
+	}
+	tri := triage.NewCollector()
+	dev.Logcat().Subscribe(tri)
+	seen := 0
+	oracle := func(cand *intent.Intent) bool {
+		in := cand.Clone()
+		in.SenderUID = core.QGJUID
+		var res wearos.DeliveryResult
+		if ctype == manifest.Service {
+			res = dev.StartService(in)
+		} else {
+			res = dev.StartActivity(in)
+		}
+		if res != wearos.DeliveredCrash {
+			return false
+		}
+		crashes := tri.Crashes()
+		if len(crashes) <= seen {
+			return false
+		}
+		rec := crashes[len(crashes)-1]
+		seen = len(crashes)
+		return rec.Hash() == b.Hash
+	}
+	min, trials := triage.Minimize(exemplar.Intent, oracle)
+	b.Trials = trials
+	if min != nil {
+		b.Reproduced = true
+		b.Minimized = min
+	}
+}
+
+// componentType looks up the component's manifest type in the fleet.
+func componentType(fleet *apps.Fleet, cn intent.ComponentName) (manifest.ComponentType, bool) {
+	pkg := fleet.Package(cn.Package)
+	if pkg == nil {
+		return 0, false
+	}
+	for _, c := range pkg.Components {
+		if c.Name == cn {
+			return c.Type, true
+		}
+	}
+	return 0, false
+}

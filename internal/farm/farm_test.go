@@ -1,0 +1,252 @@
+package farm_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/farm"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// testPackages is a small slice of the wear fleet covering crashy and quiet
+// apps, enough for every campaign to produce work without full-study cost.
+var testPackages = []string{"com.heartwatch.wear", "com.strava.wear", "com.whatsapp.wear"}
+
+func testGen() core.GeneratorConfig { return experiments.QuickGen(10) }
+
+// exportForCompare renders a study result as canonical JSON with the
+// execution metadata (worker count, checkpoint path, resumed count) blanked:
+// the determinism contract is about the scientific outputs — Table III,
+// Fig 3a, campaign counts, triage buckets — not about how the run executed.
+func exportForCompare(t *testing.T, sr *experiments.StudyResult) string {
+	t.Helper()
+	exp := report.ExportStudy(sr, 1)
+	exp.Sharding = nil
+	data, err := json.MarshalIndent(exp, "", " ")
+	if err != nil {
+		t.Fatalf("marshal export: %v", err)
+	}
+	return string(data)
+}
+
+func runStudy(t *testing.T, sharding core.Sharding) *experiments.StudyResult {
+	t.Helper()
+	sr, err := experiments.RunWearStudy(experiments.Options{
+		Seed:     1,
+		Gen:      testGen(),
+		Packages: testPackages,
+		Sharding: sharding,
+	})
+	if err != nil {
+		t.Fatalf("study: %v", err)
+	}
+	return sr
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	serial := runStudy(t, core.Sharding{Workers: 1})
+	parallel := runStudy(t, core.Sharding{Workers: 8})
+
+	if serial.Sent == 0 {
+		t.Fatal("study sent nothing; scale the generator up")
+	}
+	if got, want := exportForCompare(t, parallel), exportForCompare(t, serial); got != want {
+		t.Errorf("workers=8 export differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", want, got)
+	}
+	if serial.Sharding == nil || serial.Sharding.Workers != 1 {
+		t.Fatalf("serial sharding info = %+v", serial.Sharding)
+	}
+	if parallel.Sharding == nil || parallel.Sharding.Workers != 8 {
+		t.Fatalf("parallel sharding info = %+v", parallel.Sharding)
+	}
+	wantShards := 4 * len(testPackages)
+	if serial.Sharding.Shards != wantShards {
+		t.Fatalf("shards = %d, want %d", serial.Sharding.Shards, wantShards)
+	}
+	if serial.Triage == nil {
+		t.Fatal("farm run must carry a triage result")
+	}
+	if serial.Triage.Crashes > 0 && serial.Triage.Unique() == 0 {
+		t.Fatal("crashes observed but no buckets")
+	}
+	if serial.Triage.Unique() > serial.Triage.Crashes {
+		t.Fatal("more unique signatures than raw crashes")
+	}
+}
+
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	killed := filepath.Join(dir, "killed.ckpt")
+
+	uninterrupted := runStudy(t, core.Sharding{Workers: 2, Checkpoint: full})
+	want := exportForCompare(t, uninterrupted)
+
+	// Simulate a SIGKILL after three shards: keep the header plus three
+	// records from the completed journal and append a torn partial line.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	const keep = 3
+	torn := strings.Join(lines[:1+keep], "\n") + "\n" + `{"index":7,"key":{"camp`
+	if err := os.WriteFile(killed, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true})
+	if got := exportForCompare(t, resumed); got != want {
+		t.Errorf("resumed run differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+	if resumed.Sharding.Resumed != keep {
+		t.Fatalf("resumed = %d shards, want %d", resumed.Sharding.Resumed, keep)
+	}
+
+	// The journal is now complete: resuming again replays every shard.
+	replayed := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true})
+	if got := exportForCompare(t, replayed); got != want {
+		t.Error("full-journal replay differs from uninterrupted run")
+	}
+	if replayed.Sharding.Resumed != replayed.Sharding.Shards {
+		t.Fatalf("replay resumed %d of %d shards", replayed.Sharding.Resumed, replayed.Sharding.Shards)
+	}
+}
+
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := farm.Run(farm.Config{
+		Seed:     1,
+		Packages: testPackages[:1],
+		Gen:      testGen(),
+		Sharding: core.Sharding{Workers: 2, Checkpoint: ckpt},
+	}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	// Same checkpoint, different seed: the plan fingerprint must not match.
+	_, err := farm.Run(farm.Config{
+		Seed:     2,
+		Packages: testPackages[:1],
+		Gen:      testGen(),
+		Sharding: core.Sharding{Workers: 2, Checkpoint: ckpt, Resume: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestResumeWithoutJournalStartsFresh(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "never-written.ckpt")
+	res, err := farm.Run(farm.Config{
+		Seed:     1,
+		Packages: testPackages[:1],
+		Gen:      testGen(),
+		Sharding: core.Sharding{Workers: 2, Checkpoint: ckpt, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("resume against absent journal: %v", err)
+	}
+	if res.Resumed != 0 {
+		t.Fatalf("resumed = %d, want 0", res.Resumed)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("fresh journal not created: %v", err)
+	}
+}
+
+func TestUnknownPackageFails(t *testing.T) {
+	_, err := farm.Run(farm.Config{
+		Seed:     1,
+		Packages: []string{"com.does.not.exist"},
+		Gen:      testGen(),
+		Sharding: core.Sharding{Workers: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "com.does.not.exist") {
+		t.Fatalf("err = %v, want unknown-package failure", err)
+	}
+}
+
+func TestFarmTelemetryAndProgress(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var calls int
+	lastDone := 0
+	res, err := farm.Run(farm.Config{
+		Seed:      1,
+		Campaigns: []core.Campaign{core.CampaignA},
+		Packages:  testPackages,
+		Gen:       testGen(),
+		Sharding:  core.Sharding{Workers: 4},
+		Telemetry: reg,
+		Progress: func(done, total int, key farm.ShardKey, sentSoFar int) {
+			calls++
+			if done <= lastDone {
+				t.Errorf("progress done went %d -> %d", lastDone, done)
+			}
+			lastDone = done
+			if total != len(testPackages) {
+				t.Errorf("total = %d, want %d", total, len(testPackages))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(testPackages) {
+		t.Fatalf("progress calls = %d, want %d", calls, len(testPackages))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["farm_shards_done_total"]; got != uint64(len(testPackages)) {
+		t.Fatalf("farm_shards_done_total = %d", got)
+	}
+	if got := snap.Counters["farm_intents_total"]; got != uint64(res.Sent) {
+		t.Fatalf("farm_intents_total = %d, want %d", got, res.Sent)
+	}
+	if snap.Gauges["farm_workers"] != 4 {
+		t.Fatalf("farm_workers = %v", snap.Gauges["farm_workers"])
+	}
+	if snap.Gauges["farm_shards_inflight"] != 0 {
+		t.Fatalf("farm_shards_inflight = %v after completion", snap.Gauges["farm_shards_inflight"])
+	}
+}
+
+func TestTriageMinimizedReproducers(t *testing.T) {
+	res, err := farm.Run(farm.Config{
+		Seed:     1,
+		Packages: testPackages,
+		Gen:      testGen(),
+		Sharding: core.Sharding{Workers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triage == nil || res.Triage.Crashes == 0 {
+		t.Skip("no crashes at this scale; nothing to minimize")
+	}
+	reproduced := 0
+	for _, b := range res.Triage.Buckets {
+		if !b.Reproduced {
+			continue
+		}
+		reproduced++
+		if b.Minimized == nil {
+			t.Errorf("bucket %016x reproduced but has no minimized intent", b.Hash)
+		}
+		if b.Minimized != nil && b.Minimized.Component != b.Exemplar.Intent.Component {
+			t.Errorf("bucket %016x minimization dropped the component", b.Hash)
+		}
+		if b.Trials == 0 {
+			t.Errorf("bucket %016x reproduced with zero oracle trials", b.Hash)
+		}
+	}
+	t.Logf("triage: %d raw, %d unique, %d reproduced+minimized",
+		res.Triage.Crashes, res.Triage.Unique(), reproduced)
+}

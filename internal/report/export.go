@@ -31,6 +31,40 @@ type StudyExport struct {
 	// artifact carries its own instrumentation (counters, gauges, histogram
 	// quantiles) next to the paper tables.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Sharding records how a farm-backed run executed (absent for serial
+	// runs).
+	Sharding *ShardingExport `json:"sharding,omitempty"`
+	// Triage lists deduplicated crash signatures (farm runs only).
+	Triage *TriageExport `json:"triage,omitempty"`
+}
+
+// ShardingExport describes the farm execution of a study.
+type ShardingExport struct {
+	Workers    int    `json:"workers"`
+	Shards     int    `json:"shards"`
+	Resumed    int    `json:"resumed,omitempty"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// TriageExport is the deduplicated crash roll-up.
+type TriageExport struct {
+	RawCrashes int                  `json:"rawCrashes"`
+	Unique     int                  `json:"uniqueSignatures"`
+	Buckets    []TriageBucketExport `json:"buckets"`
+}
+
+// TriageBucketExport is one unique crash signature.
+type TriageBucketExport struct {
+	Hash  string `json:"hash"`
+	Count int    `json:"count"`
+	Class string `json:"class"`
+	Frame string `json:"frame,omitempty"`
+	// Exemplar is the first crashing intent observed for this bucket;
+	// Minimized is its greedy reduction. Both render via intent.String.
+	Exemplar   string `json:"exemplar,omitempty"`
+	Minimized  string `json:"minimized,omitempty"`
+	Reproduced bool   `json:"reproduced"`
+	Trials     int    `json:"minimizerTrials,omitempty"`
 }
 
 // CampaignExport summarizes one campaign.
@@ -87,6 +121,34 @@ func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
 		if reg := sr.Device.Telemetry(); reg != nil {
 			snap := reg.Snapshot()
 			out.Telemetry = &snap
+		}
+	}
+	if sr.Sharding != nil {
+		out.Sharding = &ShardingExport{
+			Workers:    sr.Sharding.Workers,
+			Shards:     sr.Sharding.Shards,
+			Resumed:    sr.Sharding.Resumed,
+			Checkpoint: sr.Sharding.Checkpoint,
+		}
+	}
+	if sr.Triage != nil {
+		out.Triage = &TriageExport{RawCrashes: sr.Triage.Crashes, Unique: sr.Triage.Unique()}
+		for _, b := range sr.Triage.Buckets {
+			be := TriageBucketExport{
+				Hash:       fmt.Sprintf("%016x", b.Hash),
+				Count:      b.Count,
+				Class:      b.Class,
+				Frame:      b.Frame,
+				Reproduced: b.Reproduced,
+				Trials:     b.Trials,
+			}
+			if b.Exemplar != nil && b.Exemplar.Intent != nil {
+				be.Exemplar = b.Exemplar.Intent.String()
+			}
+			if b.Minimized != nil {
+				be.Minimized = b.Minimized.String()
+			}
+			out.Triage.Buckets = append(out.Triage.Buckets, be)
 		}
 	}
 	for _, c := range sr.Campaigns {

@@ -17,6 +17,9 @@ type Progress struct {
 	every time.Duration
 	start time.Time
 	last  time.Time
+	// pending buffers the most recent suppressed line so Flush can emit it
+	// when the campaign ends between intervals.
+	pending string
 }
 
 // NewProgress returns a progress printer writing to w at most once per
@@ -47,20 +50,49 @@ func (p *Progress) Tickf(format string, args ...any) bool {
 	p.mu.Lock()
 	now := time.Now()
 	if now.Sub(p.last) < p.every {
+		// Keep the freshest suppressed line; a run that ends before the
+		// next interval flushes it instead of losing the final state.
+		p.pending = fmt.Sprintf(format, args...)
 		p.mu.Unlock()
 		return false
 	}
 	p.last = now
+	p.pending = ""
 	p.mu.Unlock()
 	fmt.Fprintf(p.w, format+"\n", args...)
 	return true
 }
 
-// Final prints unconditionally.
+// Flush prints the most recent line Tickf suppressed, if any, and reports
+// whether it printed. Campaigns call it on completion so the last heartbeat
+// (the one carrying the final counts) is never swallowed by rate limiting.
+func (p *Progress) Flush() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	line := p.pending
+	p.pending = ""
+	if line != "" {
+		p.last = time.Now()
+	}
+	p.mu.Unlock()
+	if line == "" {
+		return false
+	}
+	fmt.Fprintln(p.w, line)
+	return true
+}
+
+// Final prints unconditionally and drops any pending suppressed line — the
+// final line supersedes it.
 func (p *Progress) Final(format string, args ...any) {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
+	p.pending = ""
+	p.mu.Unlock()
 	fmt.Fprintf(p.w, format+"\n", args...)
 }
 

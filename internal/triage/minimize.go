@@ -1,0 +1,99 @@
+package triage
+
+import "repro/internal/intent"
+
+// Oracle reports whether a candidate intent still reproduces the crash
+// under reduction. The farm backs it with a freshly booted device per
+// bucket; tests use plain predicates.
+type Oracle func(*intent.Intent) bool
+
+// maxMinimizePasses bounds the greedy fixpoint loop. Each pass can only
+// remove fields, and an intent has at most a handful (action, data, type,
+// categories, ≤5 extras), so two passes almost always converge; the bound
+// is a defensive cap, not a tuning knob.
+const maxMinimizePasses = 4
+
+// Minimize greedily reduces a crashing intent: it tries to drop each extra,
+// then the data URI, the MIME type, the categories, and finally the action,
+// keeping every removal after which the oracle still reports a crash. The
+// component is never dropped — QGJ fuzzes explicit intents and the target
+// is the point. Passes repeat until a fixpoint (removals can unlock each
+// other), bounded by a small constant.
+//
+// The original intent is never mutated. The second return value is the
+// number of oracle invocations spent. If the unmodified intent does not
+// reproduce (stateful crash), Minimize returns (nil, 1).
+func Minimize(in *intent.Intent, crashes Oracle) (*intent.Intent, int) {
+	trials := 0
+	try := func(cand *intent.Intent) bool {
+		trials++
+		return crashes(cand)
+	}
+	cur := in.Clone()
+	if !try(cur) {
+		return nil, trials
+	}
+	for pass := 0; pass < maxMinimizePasses; pass++ {
+		reduced := false
+		// Extras first: FIC D attaches up to five and usually one (or none)
+		// matters.
+		for _, key := range cur.Extras.Keys() {
+			cand := withoutExtra(cur, key)
+			if try(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		if !cur.Data.IsZero() {
+			cand := cur.Clone()
+			cand.Data = intent.URI{}
+			if try(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		if cur.Type != "" {
+			cand := cur.Clone()
+			cand.Type = ""
+			if try(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		if len(cur.Categories) > 0 {
+			cand := cur.Clone()
+			cand.Categories = nil
+			if try(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		if cur.Action != "" {
+			cand := cur.Clone()
+			cand.Action = ""
+			if try(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+	return cur, trials
+}
+
+// withoutExtra clones in with one extra key removed (insertion order of the
+// survivors preserved).
+func withoutExtra(in *intent.Intent, key string) *intent.Intent {
+	out := in.Clone()
+	out.Extras = nil
+	for _, k := range in.Extras.Keys() {
+		if k == key {
+			continue
+		}
+		v, _ := in.Extras.Get(k)
+		out.PutExtra(k, v)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package triage deduplicates and reduces the crashes a fuzzing campaign
+// produces. Million-intent campaigns generate far more FATAL EXCEPTION
+// blocks than defects: the same root cause fires once per delivery. Large
+// fault-injection studies on Android (Cotroneo et al.) make their results
+// analyzable by bucketing failures by stack signature and reporting unique
+// counts next to raw counts; this package implements that pipeline for the
+// reproduction: a streaming logcat collector that reassembles crash records,
+// stack-hash bucketing (root exception class + root stack frame), exemplar
+// selection, and a greedy intent minimizer that drops extras and fields
+// while the crash still reproduces.
+package triage
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+	"repro/internal/logcat"
+)
+
+// Crash is one reassembled FATAL EXCEPTION occurrence.
+type Crash struct {
+	// Process is the crashing process name (from the "Process: <name>, PID"
+	// trace line).
+	Process string
+	// Classes lists the exception chain classes, outermost wrapper first,
+	// root cause last — the order ART prints them.
+	Classes []string
+	// Frames are the root-cause exception's stack frames, innermost first,
+	// normalized to "pkg.Class.method" (file/line stripped: line numbers
+	// shift between builds, the frame identity does not).
+	Frames []string
+	// Intent, when non-nil, is the injected intent that produced this crash
+	// (attached by the injector's Observe hook; reproducer for the
+	// minimizer).
+	Intent *intent.Intent
+}
+
+// RootClass returns the root-cause exception class ("" for an empty record).
+func (c *Crash) RootClass() string {
+	if len(c.Classes) == 0 {
+		return ""
+	}
+	return c.Classes[len(c.Classes)-1]
+}
+
+// RootFrame returns the top frame of the root-cause exception ("" when the
+// trace carried no frames).
+func (c *Crash) RootFrame() string {
+	if len(c.Frames) == 0 {
+		return ""
+	}
+	return c.Frames[0]
+}
+
+// Hash is the crash's bucket signature: FNV-64a over the root exception
+// class and the root stack frame. Two crashes with the same root frame hash
+// into the same bucket regardless of message text, wrapper exceptions, or
+// which component crashed.
+func (c *Crash) Hash() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(c.RootClass()))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(c.RootFrame()))
+	return h.Sum64()
+}
+
+// Bucket is one deduplicated crash signature.
+type Bucket struct {
+	Hash  uint64
+	Count int
+	// Class and Frame are the shared root signature.
+	Class string
+	Frame string
+	// Exemplar is the first crash (in input order) that hit this bucket.
+	Exemplar *Crash
+	// Minimized is the reduced reproducer (set by a Minimize pass; nil when
+	// the exemplar carried no intent or did not reproduce).
+	Minimized *intent.Intent
+	// Trials counts oracle invocations the minimizer spent on this bucket.
+	Trials int
+	// Reproduced reports whether the exemplar intent re-triggered the same
+	// bucket on a fresh device.
+	Reproduced bool
+}
+
+// Result is the outcome of a triage pass over a campaign's crashes.
+type Result struct {
+	// Crashes is the raw FATAL EXCEPTION event count.
+	Crashes int
+	// Buckets are the unique signatures, most frequent first (class, frame,
+	// hash break ties deterministically).
+	Buckets []Bucket
+}
+
+// Unique returns the number of distinct crash signatures.
+func (r *Result) Unique() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Buckets)
+}
+
+// Bucketize groups crashes by stack hash. Exemplars are chosen by input
+// order (first occurrence wins), preferring an exemplar that carries a
+// reproducer intent; output order is deterministic for any permutation-free
+// input order.
+func Bucketize(crashes []*Crash) *Result {
+	byHash := make(map[uint64]*Bucket)
+	var order []uint64
+	for _, c := range crashes {
+		h := c.Hash()
+		b, ok := byHash[h]
+		if !ok {
+			b = &Bucket{Hash: h, Class: c.RootClass(), Frame: c.RootFrame(), Exemplar: c}
+			byHash[h] = b
+			order = append(order, h)
+		}
+		b.Count++
+		// Upgrade the exemplar to the first crash with a reproducer.
+		if b.Exemplar.Intent == nil && c.Intent != nil {
+			b.Exemplar = c
+		}
+	}
+	out := &Result{Crashes: len(crashes)}
+	for _, h := range order {
+		out.Buckets = append(out.Buckets, *byHash[h])
+	}
+	sort.SliceStable(out.Buckets, func(i, j int) bool {
+		bi, bj := &out.Buckets[i], &out.Buckets[j]
+		if bi.Count != bj.Count {
+			return bi.Count > bj.Count
+		}
+		if bi.Class != bj.Class {
+			return bi.Class < bj.Class
+		}
+		if bi.Frame != bj.Frame {
+			return bi.Frame < bj.Frame
+		}
+		return bi.Hash < bj.Hash
+	})
+	return out
+}
+
+// block is one in-flight FATAL EXCEPTION reassembly.
+type block struct {
+	process string
+	classes []string
+	// frames holds the frames of the *current* (most recently opened)
+	// exception section; each new "Caused by:" header resets it, so when the
+	// block finalizes it holds the root cause's frames.
+	frames []string
+}
+
+// Collector is a streaming crash reassembler; it implements logcat.Sink so
+// it can run next to the analysis collector on a live device buffer, and can
+// equally consume pulled dumps via ConsumeAll.
+type Collector struct {
+	crashes []*Crash
+	blocks  map[int]*block // by PID
+	last    *Crash         // most recently finalized record
+}
+
+var _ logcat.Sink = (*Collector)(nil)
+
+// NewCollector returns an empty streaming crash collector.
+func NewCollector() *Collector {
+	return &Collector{blocks: make(map[int]*block)}
+}
+
+// Crashes returns the finalized records in log order. The collector keeps
+// ownership of the slice.
+func (c *Collector) Crashes() []*Crash { return c.crashes }
+
+// AttachIntent pairs the injected intent with the most recently finalized
+// crash record, when that record does not already carry one. The injector's
+// Observe hook calls this right after a delivery settles as a crash: the
+// simulation is synchronous, so the last FATAL EXCEPTION block belongs to
+// that intent. The intent is cloned; ok reports whether a record took it.
+func (c *Collector) AttachIntent(in *intent.Intent) bool {
+	if c.last == nil || c.last.Intent != nil || in == nil {
+		return false
+	}
+	c.last.Intent = in.Clone()
+	return true
+}
+
+// ConsumeAll feeds a slice of entries (a pulled logcat dump) in order.
+func (c *Collector) ConsumeAll(entries []logcat.Entry) {
+	for _, e := range entries {
+		c.Consume(e)
+	}
+}
+
+// Consume implements logcat.Sink.
+func (c *Collector) Consume(e logcat.Entry) {
+	switch e.Tag {
+	case logcat.TagAndroidRuntime:
+		c.consumeRuntime(e)
+	case logcat.TagActivityManager:
+		if strings.HasPrefix(e.Message, "Process ") && strings.Contains(e.Message, "has died") {
+			c.finalize(diedPID(e.Message))
+		}
+	}
+}
+
+func (c *Collector) consumeRuntime(e logcat.Entry) {
+	msg := e.Message
+	if msg == "FATAL EXCEPTION: main" {
+		c.blocks[e.PID] = &block{}
+		return
+	}
+	blk, ok := c.blocks[e.PID]
+	if !ok {
+		return
+	}
+	switch {
+	case strings.HasPrefix(msg, "Process: "):
+		// "Process: <name>, PID: <n>"
+		rest := strings.TrimPrefix(msg, "Process: ")
+		name, _, _ := strings.Cut(rest, ",")
+		blk.process = strings.TrimSpace(name)
+	case strings.HasPrefix(msg, "\tat ") || strings.HasPrefix(msg, "at "):
+		if f, ok := normalizeFrame(msg); ok {
+			blk.frames = append(blk.frames, f)
+		}
+	default:
+		if class, _, ok := javalang.ParseHeader(msg); ok {
+			blk.classes = append(blk.classes, string(class))
+			// A new exception section starts: the frames that follow belong
+			// to it, so the root cause (last section) ends up owning frames.
+			blk.frames = nil
+		}
+	}
+}
+
+func (c *Collector) finalize(pid int) {
+	blk, ok := c.blocks[pid]
+	if !ok || pid <= 0 {
+		return
+	}
+	delete(c.blocks, pid)
+	if len(blk.classes) == 0 {
+		return
+	}
+	rec := &Crash{Process: blk.process, Classes: blk.classes, Frames: blk.frames}
+	c.crashes = append(c.crashes, rec)
+	c.last = rec
+}
+
+// normalizeFrame reduces an ART frame line to its "pkg.Class.method"
+// identity: "\tat com.foo.Bar.baz(Bar.java:42)" -> "com.foo.Bar.baz".
+func normalizeFrame(line string) (string, bool) {
+	s := strings.TrimSpace(line)
+	s = strings.TrimPrefix(s, "at ")
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", false
+	}
+	return s, true
+}
+
+func diedPID(msg string) int {
+	i := strings.Index(msg, "(pid ")
+	if i < 0 {
+		return 0
+	}
+	rest := msg[i+len("(pid "):]
+	j := strings.IndexByte(rest, ')')
+	if j < 0 {
+		return 0
+	}
+	pid, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return 0
+	}
+	return pid
+}

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Full verification gate: vet, build, and the complete test suite with the
-# race detector (the telemetry registry and exposition endpoint are the
-# only concurrent surfaces; -race keeps them honest).
+# race detector (the telemetry registry/exposition endpoint and the farm's
+# worker pool are the concurrent surfaces; -race keeps them honest).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,3 +9,19 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The farm is the one subsystem whose whole point is concurrency: run its
+# suite again explicitly so a filtered invocation of this gate still
+# exercises the worker pool, journal appends, and merge under -race.
+go test -race ./internal/farm/...
+
+# End-to-end sharded-campaign smoke: a reduced fleet slice through cmd/qgj
+# with workers + checkpoint, then a resume replaying the finished journal.
+# Asserts the farm CLI path (flags, journaling, resume, triage roll-up,
+# non-zero-injection gate) works outside the unit-test harness.
+ckpt="$(mktemp -t qgj-verify-XXXXXX.ckpt)"
+trap 'rm -f "$ckpt"' EXIT
+go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
+    -workers 4 -checkpoint "$ckpt" >/dev/null
+go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
+    -workers 4 -checkpoint "$ckpt" -resume >/dev/null
