@@ -310,6 +310,10 @@ func (c *Collector) Consume(e logcat.Entry) {
 	defer telemetry.Time(c.consumeSeconds)()
 	c.report.Entries++
 	c.entriesTotal.Inc()
+	if e.Payload.Op != logcat.MsgEager {
+		c.consumeLazy(e)
+		return
+	}
 	switch e.Tag {
 	case logcat.TagActivityManager:
 		c.consumeAM(e)
@@ -323,6 +327,41 @@ func (c *Collector) Consume(e logcat.Entry) {
 		c.consumeWatchdog(e)
 	default:
 		c.consumeApp(e)
+	}
+}
+
+// consumeLazy classifies structurally logged entries straight from their
+// payload operands, skipping both the text rendering and the re-parsing the
+// eager path pays. Each case mirrors, exactly, what consumeAM/consumeApp
+// would conclude from the rendered line (pinned by the dump-equivalence
+// tests); entries the eager path ignores — dispatch announcements — are
+// ignored here too.
+func (c *Collector) consumeLazy(e logcat.Entry) {
+	p := &e.Payload
+	switch p.Op {
+	case logcat.MsgDelivering:
+		cn := p.Comp
+		c.pidComp[p.PID] = cn
+		cr := c.report.component(cn)
+		cr.Type = p.Verb
+		cr.Deliveries++
+		c.syncManifest(cn)
+
+	case logcat.MsgRejected:
+		if class, _, ok := javalang.ParseHeader(p.Err); ok {
+			c.report.component(p.Comp).Rejected[class]++
+			c.syncManifest(p.Comp)
+		}
+
+	case logcat.MsgCaught:
+		cn, ok := c.pidComp[e.PID]
+		if !ok {
+			return
+		}
+		if class, _, ok := javalang.ParseHeader(p.Err); ok {
+			c.report.component(cn).Caught[class]++
+			c.syncManifest(cn)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/intent"
 	"repro/internal/rng"
@@ -117,20 +118,33 @@ func (cfg GeneratorConfig) normalized() GeneratorConfig {
 	return cfg
 }
 
-func (cfg GeneratorConfig) actions() []string {
-	out := make([]string, 0, len(intent.Actions)/cfg.ActionStride+1)
-	for i := 0; i < len(intent.Actions); i += cfg.ActionStride {
-		out = append(out, intent.Actions[i])
+// actionCache/schemeCache memoize the strided catalog views. Generate runs
+// once per (campaign, component) — hundreds of thousands of times at farm
+// scale — and the catalogs are immutable, so each stride is materialized
+// once. Callers treat the returned slices as read-only.
+var (
+	actionCache sync.Map // int (stride) -> []string
+	schemeCache sync.Map // int (stride) -> []string
+)
+
+func stridedCatalog(cache *sync.Map, all []string, stride int) []string {
+	if v, ok := cache.Load(stride); ok {
+		return v.([]string)
 	}
+	out := make([]string, 0, len(all)/stride+1)
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	cache.Store(stride, out)
 	return out
 }
 
+func (cfg GeneratorConfig) actions() []string {
+	return stridedCatalog(&actionCache, intent.Actions, cfg.ActionStride)
+}
+
 func (cfg GeneratorConfig) schemes() []string {
-	out := make([]string, 0, len(intent.Schemes)/cfg.SchemeStride+1)
-	for i := 0; i < len(intent.Schemes); i += cfg.SchemeStride {
-		out = append(out, intent.Schemes[i])
-	}
-	return out
+	return stridedCatalog(&schemeCache, intent.Schemes, cfg.SchemeStride)
 }
 
 // CountPerComponent predicts how many intents the campaign generates for
@@ -160,17 +174,50 @@ var fuzzExtraKeys = []string{
 	"extra_junk", "blob", "argv", "opt",
 }
 
+// maxExtras is FIC D's upper bound on extras per intent ("1-5 Extra fields").
+const maxExtras = 5
+
+// fuzzExtraKeyNumbered precomputes every "<key><index>" string FIC D can
+// attach, so generation never runs fmt.Sprintf per extra.
+var fuzzExtraKeyNumbered = func() [][maxExtras]string {
+	out := make([][maxExtras]string, len(fuzzExtraKeys))
+	for i, k := range fuzzExtraKeys {
+		for e := 0; e < maxExtras; e++ {
+			out[i][e] = fmt.Sprintf("%s%d", k, e)
+		}
+	}
+	return out
+}()
+
+// intentPool recycles the campaign generators' working intents (and,
+// transitively, their category and extras storage) across Generate calls —
+// including concurrent ones from farm shards.
+var intentPool = sync.Pool{New: func() any { return new(intent.Intent) }}
+
 // Generate streams the campaign's intents for one target component into
 // emit, in deterministic order. senderUID stamps the intents with QGJ's
 // (unprivileged) identity.
+//
+// The *intent.Intent passed to emit is only valid for the duration of the
+// callback: the generator reuses one pooled intent for the whole stream,
+// resetting it between emissions. Callbacks that retain an intent (or its
+// Extras) past their return must Clone it.
 func (c Campaign) Generate(target intent.ComponentName, cfg GeneratorConfig, senderUID int, emit func(*intent.Intent)) {
 	cfg = cfg.normalized()
 	r := rng.New(cfg.Seed).Split("campaign-" + c.Letter() + "-" + target.FlattenToString())
 	actions := cfg.actions()
 	schemes := cfg.schemes()
 
+	in := intentPool.Get().(*intent.Intent)
+	defer func() {
+		in.Reset()
+		intentPool.Put(in)
+	}()
 	base := func() *intent.Intent {
-		return &intent.Intent{Component: target, SenderUID: senderUID}
+		in.Reset()
+		in.Component = target
+		in.SenderUID = senderUID
+		return in
 	}
 
 	switch c {
@@ -227,8 +274,10 @@ func (c Campaign) Generate(target intent.ComponentName, cfg GeneratorConfig, sen
 				}
 				nExtras := r.IntBetween(1, 5)
 				for e := 0; e < nExtras; e++ {
-					key := fmt.Sprintf("%s%d", rng.Pick(r, fuzzExtraKeys), e)
-					in.PutExtra(key, randomExtraValue(r))
+					// Same RNG consumption as rng.Pick(r, fuzzExtraKeys),
+					// but the numbered key comes from the precomputed table.
+					ki := r.Intn(len(fuzzExtraKeys))
+					in.PutExtra(fuzzExtraKeyNumbered[ki][e], randomExtraValue(r))
 				}
 				emit(in)
 			}

@@ -10,7 +10,9 @@ var target = intent.ComponentName{Package: "com.x", Class: "com.x.ui.Main"}
 
 func collect(c Campaign, cfg GeneratorConfig) []*intent.Intent {
 	var out []*intent.Intent
-	c.Generate(target, cfg, QGJUID, func(in *intent.Intent) { out = append(out, in) })
+	// Generate reuses one pooled intent across the stream; retaining it past
+	// the callback requires a Clone.
+	c.Generate(target, cfg, QGJUID, func(in *intent.Intent) { out = append(out, in.Clone()) })
 	return out
 }
 

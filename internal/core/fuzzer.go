@@ -46,6 +46,46 @@ type Injector struct {
 	// block they produced. The intent must be treated as read-only; clone it
 	// to retain it beyond the callback.
 	Observe func(in *intent.Intent, res wearos.DeliveryResult)
+
+	// mets caches resolved metric handles per campaign. A registry lookup
+	// sorts and renders labels — cheap per scrape, far too hot per component
+	// run at farm scale (hundreds of runs per app sweep).
+	mets map[Campaign]*campaignMetrics
+}
+
+// campaignMetrics is the per-campaign set of resolved metric handles.
+type campaignMetrics struct {
+	generated   *telemetry.Counter
+	injSecs     *telemetry.Histogram
+	progress    *telemetry.Gauge
+	compsFuzzed *telemetry.Counter
+	// byResult is indexed by DeliveryResult (values start at 1); entries
+	// are resolved lazily as result kinds first appear.
+	byResult [wearos.DeviceRebooted + 1]*telemetry.Counter
+}
+
+// metrics resolves (once) the campaign's metric handles; nil when the
+// device runs without telemetry.
+func (inj *Injector) metrics(c Campaign) *campaignMetrics {
+	tel := inj.Dev.Telemetry()
+	if tel == nil {
+		return nil
+	}
+	if m := inj.mets[c]; m != nil {
+		return m
+	}
+	campaign := telemetry.L("campaign", c.Letter())
+	m := &campaignMetrics{
+		generated:   tel.Counter("qgj_intents_generated_total", campaign),
+		injSecs:     tel.Histogram("qgj_injection_seconds", telemetry.DefLatencyBuckets, campaign),
+		progress:    tel.Gauge("qgj_component_progress"),
+		compsFuzzed: tel.Counter("qgj_components_fuzzed_total"),
+	}
+	if inj.mets == nil {
+		inj.mets = make(map[Campaign]*campaignMetrics, len(AllCampaigns))
+	}
+	inj.mets[c] = m
+	return m
 }
 
 // ComponentRun summarizes the injections against one component.
@@ -96,28 +136,25 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 	}
 	clock := inj.Dev.Clock()
 
-	// Metric handles are resolved once per component run; the per-intent path
-	// then touches only atomics (and one wall-clock read for the latency
-	// histogram).
-	tel := inj.Dev.Telemetry()
+	// Metric handles come from the per-campaign cache. The per-intent
+	// counters (generated, injected-by-result) are not touched per intent at
+	// all: run.Sent and run.Results already tally them exactly, and the
+	// registry atomics are settled once at the end of the run — the
+	// granularity at which the exposition endpoint's exactness is specified.
+	// Only the sampled latency histogram and the progress gauge remain on
+	// the per-intent path.
+	m := inj.metrics(c)
 	var (
-		generated *telemetry.Counter
-		injSecs   *telemetry.Histogram
-		progress  *telemetry.Gauge
-		// byResult is indexed by DeliveryResult (values start at 1); entries
-		// are resolved lazily as result kinds first appear.
-		byResult [wearos.DeviceRebooted + 1]*telemetry.Counter
+		injSecs  *telemetry.Histogram
+		progress *telemetry.Gauge
 	)
-	if tel != nil {
-		campaign := telemetry.L("campaign", c.Letter())
-		generated = tel.Counter("qgj_intents_generated_total", campaign)
-		injSecs = tel.Histogram("qgj_injection_seconds", telemetry.DefLatencyBuckets, campaign)
-		progress = tel.Gauge("qgj_component_progress")
+	if m != nil {
+		injSecs = m.injSecs
+		progress = m.progress
 	}
-	sp := inj.Dev.Tracer().Start("fuzz:" + c.Letter() + ":" + comp.Name.FlattenToString())
+	sp := inj.Dev.Tracer().Start("fuzz:" + c.Letter() + ":" + comp.Flat())
 
 	c.Generate(comp.Name, inj.Cfg, inj.uid(), func(in *intent.Intent) {
-		generated.Inc()
 		// Latency is sampled 1-in-injSampleEvery: two wall-clock reads per
 		// intent are the single most expensive instruction in this callback,
 		// and the histogram only needs a representative population, not a
@@ -136,15 +173,6 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 		if timed {
 			injSecs.Observe(time.Since(start).Seconds())
 		}
-		if tel != nil {
-			rc := byResult[res]
-			if rc == nil {
-				rc = tel.Counter("qgj_intents_injected_total",
-					telemetry.L("campaign", c.Letter()), telemetry.L("result", res.String()))
-				byResult[res] = rc
-			}
-			rc.Inc()
-		}
 		run.Results[res]++
 		run.Sent++
 		if inj.Observe != nil {
@@ -161,7 +189,22 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 	})
 	sp.End()
 	progress.Set(float64(run.Sent))
-	tel.Counter("qgj_components_fuzzed_total").Inc()
+	if m != nil {
+		m.generated.Add(uint64(run.Sent))
+		for res, n := range run.Results {
+			rc := m.byResult[res]
+			if rc == nil {
+				rc = inj.Dev.Telemetry().Counter("qgj_intents_injected_total",
+					telemetry.L("campaign", c.Letter()), telemetry.L("result", res.String()))
+				m.byResult[res] = rc
+			}
+			rc.Add(uint64(n))
+		}
+		m.compsFuzzed.Inc()
+	}
+	// Batched device counters (dispatch results, logcat appends) become
+	// exact at every component-run boundary.
+	inj.Dev.FlushTelemetry()
 	return run
 }
 

@@ -145,6 +145,16 @@ func (b *Bundle) HasNull() bool {
 	return false
 }
 
+// Reset empties the bundle in place, retaining the key slice and map
+// storage so a pooled bundle stops allocating once warmed up.
+func (b *Bundle) Reset() {
+	if b == nil {
+		return
+	}
+	b.keys = b.keys[:0]
+	clear(b.values)
+}
+
 // Clone returns a deep copy of the bundle.
 func (b *Bundle) Clone() *Bundle {
 	if b == nil {

@@ -2,6 +2,7 @@ package intent
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -23,7 +24,7 @@ func (c ComponentName) FlattenToString() string {
 		return ""
 	}
 	cls := c.Class
-	if strings.HasPrefix(cls, c.Package+".") {
+	if len(cls) > len(c.Package) && cls[len(c.Package)] == '.' && cls[:len(c.Package)] == c.Package {
 		cls = cls[len(c.Package):]
 	}
 	return c.Package + "/" + cls
@@ -111,32 +112,74 @@ func (in *Intent) Clone() *Intent {
 	return &cp
 }
 
+// Reset clears the intent for reuse, retaining the Categories and Extras
+// storage so pooled intents stop allocating after warm-up. The campaign
+// generator owns the reset/reuse contract; callbacks that retain an intent
+// past their scope must Clone it.
+func (in *Intent) Reset() {
+	in.Action = ""
+	in.Data = URI{}
+	in.Categories = in.Categories[:0]
+	in.Type = ""
+	in.Component = ComponentName{}
+	in.Extras.Reset()
+	in.Flags = 0
+	in.SenderUID = 0
+}
+
 // String renders the intent in the logcat style the paper quotes, e.g.
 // {act=android.intent.action.DIAL dat=tel:123 cmp=com.foo/.Bar (has extras)}.
 func (in *Intent) String() string {
-	var parts []string
+	buf := make([]byte, 0, 96)
+	buf = append(buf, '{')
+	mark := len(buf)
 	if in.Action != "" {
-		parts = append(parts, "act="+in.Action)
+		buf = append(buf, "act="...)
+		buf = append(buf, in.Action...)
 	}
 	if !in.Data.IsZero() {
-		parts = append(parts, "dat="+in.Data.String())
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "dat="...)
+		buf = append(buf, URIText(in.Data)...)
 	}
 	for _, c := range in.Categories {
-		parts = append(parts, "cat="+c)
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "cat="...)
+		buf = append(buf, c...)
 	}
 	if in.Type != "" {
-		parts = append(parts, "typ="+in.Type)
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "typ="...)
+		buf = append(buf, in.Type...)
 	}
 	if !in.Component.IsZero() {
-		parts = append(parts, "cmp="+in.Component.FlattenToString())
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "cmp="...)
+		buf = append(buf, in.Component.FlattenToString()...)
 	}
 	if in.Flags != 0 {
-		parts = append(parts, fmt.Sprintf("flg=0x%x", in.Flags))
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "flg=0x"...)
+		buf = strconv.AppendUint(buf, uint64(in.Flags), 16)
 	}
 	if in.Extras.Len() > 0 {
-		parts = append(parts, "(has extras)")
+		if len(buf) > mark {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "(has extras)"...)
 	}
-	return "{" + strings.Join(parts, " ") + "}"
+	buf = append(buf, '}')
+	return string(buf)
 }
 
 // Defect flags describe, from the *generator's* point of view, what is

@@ -127,6 +127,29 @@ func (u URI) String() string {
 // IsZero reports whether the URI is unset.
 func (u URI) IsZero() bool { return u.Scheme == "" && u.Opaque == "" && u.Host == "" && u.Path == "" }
 
+// uriTexts interns the rendered text of the catalog's sample data URIs.
+// Campaign generation draws data almost exclusively from SampleData, so the
+// dispatch hot path can hand out a shared string instead of re-assembling
+// the same dozen URIs millions of times. URI is comparable (all fields are
+// strings), so the table is a plain map lookup.
+var uriTexts = func() map[URI]string {
+	m := make(map[URI]string, len(Schemes))
+	for _, s := range Schemes {
+		u := SampleData(s)
+		m[u] = u.String()
+	}
+	return m
+}()
+
+// URIText returns the textual form of u, serving catalog sample URIs from
+// an intern table and falling back to String() for everything else.
+func URIText(u URI) string {
+	if s, ok := uriTexts[u]; ok {
+		return s
+	}
+	return u.String()
+}
+
 // SampleData returns a well-formed example datum for each configured scheme,
 // mirroring the paper's examples ("data=http://foo.com/", "data=tel:123").
 // Unknown schemes get a generic hierarchical form.

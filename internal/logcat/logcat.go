@@ -4,14 +4,23 @@
 // workflow pulls the logs over adb and the analyzer classifies
 // manifestations from them (Section III-D: "we collected all of the log
 // files (over 2GB) from the wearable using logcat").
+//
+// At campaign scale (~1.5M intents), rendering every entry eagerly with
+// fmt.Sprintf dominates the injection hot path even though the vast
+// majority of lines are only ever read once at analysis time — or never.
+// Entries can therefore carry a structured Payload instead of a rendered
+// Message: the dispatch path stores the operands (verb, intent fields,
+// component, pid) and Format/Msg render the identical text on demand.
 package logcat
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/intent"
 	"repro/internal/telemetry"
 )
 
@@ -47,7 +56,130 @@ func (l Level) String() string {
 	}
 }
 
-// Entry is one log line.
+// MsgOp identifies the deferred-render operation of a lazily logged entry.
+// The vocabulary covers exactly the lines the injection hot path emits per
+// intent; everything else (boot banners, crash blocks, watchdog notices)
+// stays eager — those are rare and often multi-line.
+type MsgOp uint8
+
+const (
+	// MsgEager marks a conventionally logged entry: Message holds the text.
+	MsgEager MsgOp = iota
+	// MsgDispatch renders "<Verb> u0 <intent> from uid <UID>" where
+	// <intent> is the logcat-style flattened intent built from Act, Data,
+	// Comp and HasExtras. Only intents without categories, MIME type, and
+	// flags take this path (the operand set covers exactly what campaign
+	// intents carry); richer intents fall back to eager formatting.
+	MsgDispatch
+	// MsgDelivering renders "Delivering to <Verb> cmp=<Flat> pid=<PID>".
+	MsgDelivering
+	// MsgRejected renders
+	// "Exception thrown delivering intent to cmp=<Flat>: <Err>".
+	MsgRejected
+	// MsgCaught renders "caught exception while handling intent: <Err>".
+	MsgCaught
+)
+
+// Payload carries the structured operands of a lazily rendered message.
+// Operand strings are expected to be long-lived (interned catalog entries,
+// cached component flats) so storing them allocates nothing.
+type Payload struct {
+	Op MsgOp
+	// Verb is the dispatch verb (START, startService, bindService,
+	// broadcastIntent) for MsgDispatch, or the component kind (activity,
+	// service, receiver) for MsgDelivering.
+	Verb string
+	// Act/Data/Comp/HasExtras are the intent fields of MsgDispatch. HasData
+	// distinguishes "no data" from data rendering to the empty string, the
+	// way Intent.String keys off URI.IsZero.
+	Act       string
+	Data      string
+	HasData   bool
+	HasExtras bool
+	// Comp is the target component, rendered as cmp=<flat> by MsgDispatch,
+	// MsgDelivering and MsgRejected, and consumed structurally (parse-free)
+	// by the streaming analyzer.
+	Comp intent.ComponentName
+	// Err is the rendered throwable ("<class>: <message>") for
+	// MsgRejected/MsgCaught.
+	Err string
+	// UID is the sender UID of MsgDispatch; PID the target process of
+	// MsgDelivering.
+	UID int
+	PID int
+}
+
+// appendMsg renders the payload's message text into dst. The output is
+// byte-identical to what the eager fmt.Sprintf call sites produced.
+func (p *Payload) appendMsg(dst []byte) []byte {
+	switch p.Op {
+	case MsgDispatch:
+		dst = append(dst, p.Verb...)
+		dst = append(dst, " u0 {"...)
+		mark := len(dst)
+		if p.Act != "" {
+			dst = append(dst, "act="...)
+			dst = append(dst, p.Act...)
+		}
+		if p.HasData {
+			if len(dst) > mark {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, "dat="...)
+			dst = append(dst, p.Data...)
+		}
+		if !p.Comp.IsZero() {
+			if len(dst) > mark {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, "cmp="...)
+			dst = appendFlat(dst, p.Comp)
+		}
+		if p.HasExtras {
+			if len(dst) > mark {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, "(has extras)"...)
+		}
+		dst = append(dst, "} from uid "...)
+		dst = strconv.AppendInt(dst, int64(p.UID), 10)
+	case MsgDelivering:
+		dst = append(dst, "Delivering to "...)
+		dst = append(dst, p.Verb...)
+		dst = append(dst, " cmp="...)
+		dst = appendFlat(dst, p.Comp)
+		dst = append(dst, " pid="...)
+		dst = strconv.AppendInt(dst, int64(p.PID), 10)
+	case MsgRejected:
+		dst = append(dst, "Exception thrown delivering intent to cmp="...)
+		dst = appendFlat(dst, p.Comp)
+		dst = append(dst, ": "...)
+		dst = append(dst, p.Err...)
+	case MsgCaught:
+		dst = append(dst, "caught exception while handling intent: "...)
+		dst = append(dst, p.Err...)
+	}
+	return dst
+}
+
+// appendFlat mirrors intent.ComponentName.FlattenToString without the
+// intermediate string.
+func appendFlat(dst []byte, c intent.ComponentName) []byte {
+	if c.IsZero() {
+		return dst
+	}
+	cls := c.Class
+	if len(cls) > len(c.Package) && cls[len(c.Package)] == '.' && cls[:len(c.Package)] == c.Package {
+		cls = cls[len(c.Package):]
+	}
+	dst = append(dst, c.Package...)
+	dst = append(dst, '/')
+	return append(dst, cls...)
+}
+
+// Entry is one log line. Entries are either eager (Message holds the text,
+// Payload.Op == MsgEager) or lazy (Payload holds the operands and Message
+// is empty); Msg and Format render both identically.
 type Entry struct {
 	Time    time.Time
 	PID     int
@@ -55,13 +187,54 @@ type Entry struct {
 	Level   Level
 	Tag     string
 	Message string
+	Payload Payload
+}
+
+// Msg returns the entry's message text, rendering a lazy payload on demand.
+func (e *Entry) Msg() string {
+	if e.Payload.Op == MsgEager {
+		return e.Message
+	}
+	return string(e.Payload.appendMsg(nil))
+}
+
+// threadtimeLayout is logcat's threadtime timestamp format (no year).
+const threadtimeLayout = "01-02 15:04:05.000"
+
+// appendPad5 appends n the way fmt's %5d renders it: right-aligned in a
+// five-column space-padded field, wider numbers unpadded.
+func appendPad5(dst []byte, n int) []byte {
+	var scratch [20]byte
+	s := strconv.AppendInt(scratch[:0], int64(n), 10)
+	for i := len(s); i < 5; i++ {
+		dst = append(dst, ' ')
+	}
+	return append(dst, s...)
+}
+
+// AppendFormat renders the entry in threadtime format into dst, exactly as
+// fmt.Sprintf("%s %5d %5d %s %s: %s") used to.
+func (e *Entry) AppendFormat(dst []byte) []byte {
+	dst = e.Time.AppendFormat(dst, threadtimeLayout)
+	dst = append(dst, ' ')
+	dst = appendPad5(dst, e.PID)
+	dst = append(dst, ' ')
+	dst = appendPad5(dst, e.TID)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Level.String()...)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Tag...)
+	dst = append(dst, ": "...)
+	if e.Payload.Op == MsgEager {
+		return append(dst, e.Message...)
+	}
+	return e.Payload.appendMsg(dst)
 }
 
 // Format renders the entry in logcat's threadtime format, which the pull
 // path emits and the parser consumes.
-func (e Entry) Format() string {
-	return fmt.Sprintf("%s %5d %5d %s %s: %s",
-		e.Time.Format("01-02 15:04:05.000"), e.PID, e.TID, e.Level, e.Tag, e.Message)
+func (e *Entry) Format() string {
+	return string(e.AppendFormat(make([]byte, 0, 48+len(e.Tag)+len(e.Message))))
 }
 
 // Well-known tags used across the simulator, mirroring AOSP conventions.
@@ -81,7 +254,8 @@ const (
 
 // Sink receives entries as they are appended; the streaming analyzer and
 // test recorders register sinks so multi-million-entry campaigns do not have
-// to retain the full log in memory.
+// to retain the full log in memory. Sinks that only understand rendered
+// text should read e.Msg(), never e.Message (lazy entries leave it empty).
 type Sink interface {
 	Consume(Entry)
 }
@@ -106,6 +280,13 @@ type Buffer struct {
 	appended     *telemetry.Counter
 	droppedGauge *telemetry.Gauge
 	onFirstDrop  func(capacity int)
+
+	// total is the exact number of appends since construction; flushed is
+	// the portion already added to the appended counter. Batching the
+	// counter updates keeps an atomic add off the per-line append path (see
+	// appendFlushEvery).
+	total   uint64
+	flushed uint64
 }
 
 // DefaultCapacity matches a generously sized logd buffer; campaign runs
@@ -138,6 +319,32 @@ func (b *Buffer) SetTelemetry(reg *telemetry.Registry) {
 	b.appended = reg.Counter("logcat_entries_total")
 	b.droppedGauge = reg.Gauge("logcat_dropped_lines")
 	b.droppedGauge.Set(float64(b.dropped))
+	// Lines appended before attachment were never counted; start the batch
+	// window here.
+	b.flushed = b.total
+}
+
+// appendFlushEvery is the batching window for the logcat_entries_total
+// counter (power of two). The exact count lives in b.total under the ring
+// mutex; the shared atomic is only touched once per window (and on every
+// read accessor), keeping the per-line append path free of atomics.
+const appendFlushEvery = 64
+
+// flushLocked pushes the pending append delta into the telemetry counter;
+// the caller holds b.mu.
+func (b *Buffer) flushLocked() {
+	if d := b.total - b.flushed; d != 0 {
+		b.appended.Add(d)
+		b.flushed = b.total
+	}
+}
+
+// FlushTelemetry makes the batched counters current, e.g. before a scrape
+// at a campaign boundary.
+func (b *Buffer) FlushTelemetry() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.flushLocked()
 }
 
 // OnFirstDrop registers fn to run once, when the first entry is evicted
@@ -149,25 +356,50 @@ func (b *Buffer) OnFirstDrop(fn func(capacity int)) {
 	b.onFirstDrop = fn
 }
 
+// droppedGaugeEvery is the refresh cadence of the logcat_dropped_lines
+// gauge (power of two). Once the ring is full — the steady state of any
+// long campaign — every push evicts a line, and refreshing the gauge per
+// eviction would put an atomic store and a float conversion on the hot
+// append path. Dropped() stays exact; scrapes lag by at most the cadence.
+const droppedGaugeEvery = 1024
+
+// push stores e in the ring; the caller holds b.mu. It reports whether this
+// push evicted the first-ever entry (the OnFirstDrop trigger).
+func (b *Buffer) push(e Entry) bool {
+	capN := len(b.entries)
+	if b.count == capN {
+		b.entries[b.start] = e
+		if b.start++; b.start == capN {
+			b.start = 0
+		}
+		b.dropped++
+		if b.dropped == 1 || b.dropped&(droppedGaugeEvery-1) == 0 {
+			b.droppedGauge.Set(float64(b.dropped))
+		}
+		return b.dropped == 1
+	}
+	idx := b.start + b.count
+	if idx >= capN {
+		idx -= capN
+	}
+	b.entries[idx] = e
+	b.count++
+	return false
+}
+
 // Append adds an entry to the buffer and fans it out to sinks.
 func (b *Buffer) Append(e Entry) {
 	b.mu.Lock()
-	capN := len(b.entries)
 	var firstDrop func(int)
-	if b.count == capN {
-		b.entries[b.start] = e
-		b.start = (b.start + 1) % capN
-		b.dropped++
-		b.droppedGauge.Set(float64(b.dropped))
-		if b.dropped == 1 {
-			firstDrop = b.onFirstDrop
-		}
-	} else {
-		b.entries[(b.start+b.count)%capN] = e
-		b.count++
+	if b.push(e) {
+		firstDrop = b.onFirstDrop
 	}
-	b.appended.Inc()
+	b.total++
+	if b.total-b.flushed >= appendFlushEvery {
+		b.flushLocked()
+	}
 	sinks := b.sinks
+	capN := len(b.entries)
 	b.mu.Unlock()
 	if firstDrop != nil {
 		firstDrop(capN)
@@ -177,28 +409,71 @@ func (b *Buffer) Append(e Entry) {
 	}
 }
 
+// AppendBatch adds several entries under a single mutex acquisition —
+// multi-line artifacts (stack traces, boot banners) pay the lock once
+// instead of per line. Sinks still observe every entry, in order.
+func (b *Buffer) AppendBatch(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	b.mu.Lock()
+	var firstDrop func(int)
+	for i := range entries {
+		if b.push(entries[i]) {
+			firstDrop = b.onFirstDrop
+		}
+	}
+	b.total += uint64(len(entries))
+	if b.total-b.flushed >= appendFlushEvery {
+		b.flushLocked()
+	}
+	sinks := b.sinks
+	capN := len(b.entries)
+	b.mu.Unlock()
+	if firstDrop != nil {
+		firstDrop(capN)
+	}
+	for _, s := range sinks {
+		for i := range entries {
+			s.Consume(entries[i])
+		}
+	}
+}
+
 // Len returns the number of retained entries.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.flushLocked()
 	return b.count
 }
 
-// Dropped returns how many entries were evicted due to capacity.
+// Dropped returns how many entries were evicted due to capacity. Reading
+// the exact count also re-syncs the sampled logcat_dropped_lines gauge.
 func (b *Buffer) Dropped() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.flushLocked()
+	if b.dropped > 0 {
+		b.droppedGauge.Set(float64(b.dropped))
+	}
 	return b.dropped
 }
 
-// Snapshot returns a copy of the retained entries, oldest first.
+// Snapshot returns a copy of the retained entries, oldest first. The ring
+// is copied with at most two copy calls (the wrapped and unwrapped runs),
+// not a per-element modulo walk.
 func (b *Buffer) Snapshot() []Entry {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.flushLocked()
 	out := make([]Entry, b.count)
-	for i := 0; i < b.count; i++ {
-		out[i] = b.entries[(b.start+i)%len(b.entries)]
+	head := b.start + b.count
+	if head > len(b.entries) {
+		head = len(b.entries)
 	}
+	n := copy(out, b.entries[b.start:head])
+	copy(out[n:], b.entries[:b.count-n])
 	return out
 }
 
@@ -212,12 +487,12 @@ func (b *Buffer) Clear() {
 // Dump renders the retained entries in threadtime format, one per line.
 func (b *Buffer) Dump() string {
 	snap := b.Snapshot()
-	var sb strings.Builder
-	for _, e := range snap {
-		sb.WriteString(e.Format())
-		sb.WriteByte('\n')
+	buf := make([]byte, 0, len(snap)*96)
+	for i := range snap {
+		buf = snap[i].AppendFormat(buf)
+		buf = append(buf, '\n')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // Logger is a convenience handle that stamps entries with a clock and
@@ -243,13 +518,25 @@ func (l *Logger) Log(pid, tid int, level Level, tag, format string, args ...any)
 	})
 }
 
+// LogLazy appends an entry whose message renders on demand from p. The
+// injection hot path uses this to store structure instead of paying
+// fmt.Sprintf per intent.
+func (l *Logger) LogLazy(pid, tid int, level Level, tag string, p Payload) {
+	l.buf.Append(Entry{
+		Time: l.now(), PID: pid, TID: tid, Level: level, Tag: tag, Payload: p,
+	})
+}
+
 // Block appends several entries sharing the same metadata — used for
-// multi-line artifacts like stack traces so they stay contiguous.
+// multi-line artifacts like stack traces so they stay contiguous. The lines
+// land in the ring under one lock acquisition.
 func (l *Logger) Block(pid, tid int, level Level, tag string, lines []string) {
 	t := l.now()
-	for _, line := range lines {
-		l.buf.Append(Entry{Time: t, PID: pid, TID: tid, Level: level, Tag: tag, Message: line})
+	entries := make([]Entry, len(lines))
+	for i, line := range lines {
+		entries[i] = Entry{Time: t, PID: pid, TID: tid, Level: level, Tag: tag, Message: line}
 	}
+	l.buf.AppendBatch(entries)
 }
 
 // Buffer exposes the underlying ring, for pull/clear operations.
@@ -263,7 +550,7 @@ func ParseLine(line string, year int) (Entry, bool) {
 	if len(line) < 19 {
 		return Entry{}, false
 	}
-	ts, err := time.Parse("01-02 15:04:05.000", line[:18])
+	ts, err := time.Parse(threadtimeLayout, line[:18])
 	if err != nil {
 		return Entry{}, false
 	}

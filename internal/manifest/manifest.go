@@ -190,6 +190,30 @@ type Component struct {
 	// MainLauncher marks the entry activity (MAIN/LAUNCHER filter); QGJ-UI
 	// only targets launcher activities (Section IV-D).
 	MainLauncher bool
+
+	// flat and bindEndpoint cache the rendered component identity strings;
+	// Registry.Install precomputes them so the dispatch hot path never
+	// re-flattens a long-lived component. Lazily filled on first use for
+	// components that never pass through a registry.
+	flat         string
+	bindEndpoint string
+}
+
+// Flat returns the cached Name.FlattenToString().
+func (c *Component) Flat() string {
+	if c.flat == "" {
+		c.flat = c.Name.FlattenToString()
+	}
+	return c.flat
+}
+
+// BindEndpoint returns the cached "svc:<flat>" connection endpoint handed to
+// ServiceConnection callbacks.
+func (c *Component) BindEndpoint() string {
+	if c.bindEndpoint == "" {
+		c.bindEndpoint = "svc:" + c.Flat()
+	}
+	return c.bindEndpoint
 }
 
 // Package is one installed application.
@@ -267,6 +291,8 @@ func (r *Registry) Install(pkg *Package) error {
 	r.packages[pkg.Name] = pkg
 	for _, c := range pkg.Components {
 		r.byName[c.Name] = c
+		c.flat = c.Name.FlattenToString()
+		c.bindEndpoint = "svc:" + c.flat
 	}
 	return nil
 }

@@ -197,6 +197,12 @@ func (c *Collector) ConsumeAll(entries []logcat.Entry) {
 
 // Consume implements logcat.Sink.
 func (c *Collector) Consume(e logcat.Entry) {
+	// Triage only reads FATAL EXCEPTION blocks and process-death notices,
+	// which are always logged eagerly; lazily rendered dispatch traffic
+	// cannot match and is skipped without touching its text.
+	if e.Payload.Op != logcat.MsgEager {
+		return
+	}
 	switch e.Tag {
 	case logcat.TagAndroidRuntime:
 		c.consumeRuntime(e)

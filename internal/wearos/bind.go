@@ -1,8 +1,6 @@
 package wearos
 
 import (
-	"fmt"
-
 	"repro/internal/intent"
 	"repro/internal/javalang"
 	"repro/internal/logcat"
@@ -61,8 +59,7 @@ func (o *OS) RegisterBindHandler(cn intent.ComponentName, h BindHandler) {
 // export, permission. Binding starts the process if needed and publishes a
 // Binder endpoint owned by it.
 func (o *OS) BindService(in *intent.Intent) (*Connection, *javalang.Throwable) {
-	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"bindService u0 %s from uid %d", in.String(), in.SenderUID)
+	o.logDispatch("bindService", in)
 
 	if intent.IsProtected(in.Action) && in.SenderUID != UIDSystem {
 		thr := javalang.Newf(javalang.ClassSecurity,
@@ -85,7 +82,7 @@ func (o *OS) BindService(in *intent.Intent) (*Connection, *javalang.Throwable) {
 	}
 
 	proc := o.ensureProcess(comp.Name.Package)
-	endpoint := fmt.Sprintf("svc:%s", comp.Name.FlattenToString())
+	endpoint := comp.BindEndpoint()
 	cn := comp.Name
 	o.router.Publish(endpoint, proc.PID, func(code int, data any) (any, *javalang.Throwable) {
 		if h, ok := o.bindHandlers[cn]; ok {
@@ -94,6 +91,6 @@ func (o *OS) BindService(in *intent.Intent) (*Connection, *javalang.Throwable) {
 		return data, nil // default echo protocol
 	})
 	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"Bound %s to pid=%d", comp.Name.FlattenToString(), proc.PID)
+		"Bound %s to pid=%d", comp.Flat(), proc.PID)
 	return &Connection{os: o, endpoint: endpoint, comp: comp.Name}, nil
 }

@@ -29,8 +29,7 @@ type BroadcastResult struct {
 // receiver. Protected actions from non-system senders are rejected exactly
 // like in dispatch().
 func (o *OS) SendBroadcast(in *intent.Intent) BroadcastResult {
-	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"broadcastIntent u0 %s from uid %d", in.String(), in.SenderUID)
+	o.logDispatch("broadcastIntent", in)
 
 	if intent.IsProtected(in.Action) && in.SenderUID != UIDSystem {
 		thr := javalang.Newf(javalang.ClassSecurity,
@@ -84,13 +83,18 @@ func (o *OS) SendBroadcast(in *intent.Intent) BroadcastResult {
 		}
 		proc := o.ensureProcess(comp.Name.Package)
 		o.lastDeliver[proc.PID] = comp.Name
-		o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-			"Delivering to receiver cmp=%s pid=%d", comp.Name.FlattenToString(), proc.PID)
+		o.log.LogLazy(1000, 1000, logcat.Info, logcat.TagActivityManager, logcat.Payload{
+			Op:   logcat.MsgDelivering,
+			Verb: "receiver",
+			Comp: comp.Name,
+			PID:  proc.PID,
+		})
 
 		h := o.handlers[comp.Name]
 		var out Outcome
 		if h != nil {
-			out = h(&Env{PID: proc.PID, Clock: o.clock, Log: o.log}, in)
+			o.env = Env{PID: proc.PID, Clock: o.clock, Log: o.log}
+			out = h(&o.env, in)
 		}
 		dr := o.settle(proc, comp, o.traits[comp.Name], out)
 		res.Delivered++

@@ -193,13 +193,70 @@ type OS struct {
 	tracer      *telemetry.Tracer
 	osm         osMetrics
 	dispatchSeq uint64
+	// dispatchPending batches wearos_dispatch_total increments per result;
+	// the batch is flushed to the shared atomics every dispatchFlushEvery
+	// dispatches and by FlushTelemetry (see the constant's comment).
+	dispatchPending [DeviceRebooted + 1]uint32
+
+	// gateMsgs caches fully rendered gate-denial log lines. Denials are
+	// deterministic per (component, action, uid, kind, reason), and fuzzing
+	// campaigns hammer the same denials millions of times, so each distinct
+	// line is formatted exactly once.
+	gateMsgs map[gateKey]string
+	// env is the reusable handler environment; the simulation is
+	// single-threaded and handlers must not retain it past their call.
+	env Env
+}
+
+// gateKey identifies one deterministic gate-denial message.
+type gateKey struct {
+	comp   intent.ComponentName
+	action string
+	uid    int
+	kind   manifest.ComponentType
+	reason uint8
+}
+
+// Gate denial reasons (gateKey.reason).
+const (
+	gateProtected uint8 = iota + 1
+	gateNotFound
+	gateNotExported
+	gateNeedsPermission
+)
+
+// gateMsg returns the cached denial line for k, rendering it with build on
+// first use.
+func (o *OS) gateMsg(k gateKey, build func() string) string {
+	if msg, ok := o.gateMsgs[k]; ok {
+		return msg
+	}
+	msg := build()
+	o.gateMsgs[k] = msg
+	return msg
 }
 
 // spanSampleEvery is the dispatch span sampling rate (power of two). A span
 // per delivery costs several allocations and tracer mutex round-trips —
 // far over the telemetry overhead budget at millions of intents — so only
-// every Nth dispatch is traced. Counters and histograms remain exact.
-const spanSampleEvery = 64
+// every Nth dispatch is traced. Counters and histograms remain exact. The
+// rate is set so the amortized span cost stays under the <5% overhead
+// budget now that an uninstrumented dispatch runs in a few hundred ns.
+const spanSampleEvery = 512
+
+// dispatchFlushEvery is the batching window for the per-result
+// wearos_dispatch_total counters (power of two). The simulation is
+// single-threaded, so the exact tallies accumulate in a plain array and the
+// shared atomics are only touched once per window; the fuzzer flushes at
+// every component-run boundary so campaign-scale scrapes stay exact.
+const dispatchFlushEvery = 16
+
+// instabilitySampleEvery is how often a clean (no-effect) dispatch refreshes
+// the wearos_instability gauge (power of two). Instability only rises on
+// failures — which refresh the gauge immediately — so between failures the
+// gauge merely tracks decay, and a sampled refresh keeps scrapes fresh
+// without paying the decay computation per intent.
+const instabilitySampleEvery = 16
 
 // osMetrics caches the device-level metric handles so hot paths touch only
 // atomics, never the registry map. All fields are nil (no-op) when telemetry
@@ -265,6 +322,7 @@ func New(cfg Config) *OS {
 		bindHandlers: make(map[intent.ComponentName]BindHandler),
 		lastDeliver:  make(map[int]intent.ComponentName),
 		dropbox:      newDropBox(),
+		gateMsgs:     make(map[gateKey]string),
 	}
 	o.sysSrv = newSystemServer(cfg.Aging, clock.Now, log)
 	o.sysSrv.requestReboot = o.reboot
@@ -415,17 +473,63 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 	o.dispatchSeq++
 	result := o.deliver(in, kind, verb, sp)
 	sp.End()
-	o.osm.dispatch[result].Inc()
-	o.osm.instability.Set(o.sysSrv.Instability())
+	o.dispatchPending[result]++
+	if o.dispatchSeq&(dispatchFlushEvery-1) == 0 {
+		o.flushDispatchCounters()
+	}
+	if result != DeliveredNoEffect || o.dispatchSeq&(instabilitySampleEvery-1) == 0 {
+		o.osm.instability.Set(o.sysSrv.Instability())
+	}
 	return result
+}
+
+// flushDispatchCounters pushes the batched per-result dispatch tallies into
+// the telemetry registry's atomics.
+func (o *OS) flushDispatchCounters() {
+	for r := range o.dispatchPending {
+		if n := o.dispatchPending[r]; n != 0 {
+			o.osm.dispatch[r].Add(uint64(n))
+			o.dispatchPending[r] = 0
+		}
+	}
+}
+
+// FlushTelemetry makes every batched device counter current: the per-result
+// dispatch tallies and the logcat append counter. The fuzzer calls it at
+// component-run boundaries so exposition scrapes between runs are exact;
+// mid-run scrapes may lag by at most one batching window.
+func (o *OS) FlushTelemetry() {
+	o.flushDispatchCounters()
+	o.buf.FlushTelemetry()
+}
+
+// logDispatch emits the "<verb> u0 <intent> from uid <n>" line. Intents
+// shaped like campaign traffic (no categories, MIME type, or flags — the
+// only fields the lazy payload cannot carry) store structure instead of
+// rendered text; anything richer falls back to eager formatting.
+func (o *OS) logDispatch(verb string, in *intent.Intent) {
+	if len(in.Categories) == 0 && in.Type == "" && in.Flags == 0 {
+		o.log.LogLazy(1000, 1000, logcat.Info, logcat.TagActivityManager, logcat.Payload{
+			Op:        logcat.MsgDispatch,
+			Verb:      verb,
+			Act:       in.Action,
+			Data:      intent.URIText(in.Data),
+			HasData:   !in.Data.IsZero(),
+			Comp:      in.Component,
+			HasExtras: in.Extras.Len() > 0,
+			UID:       in.SenderUID,
+		})
+		return
+	}
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
+		"%s u0 %s from uid %d", verb, in.String(), in.SenderUID)
 }
 
 // deliver runs the Android dispatch checks in order under the dispatch span;
 // permission and handler stages get child spans so a stalled or slow run
 // shows where time went.
 func (o *OS) deliver(in *intent.Intent, kind manifest.ComponentType, verb string, sp *telemetry.Span) DeliveryResult {
-	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"%s u0 %s from uid %d", verb, in.String(), in.SenderUID)
+	o.logDispatch(verb, in)
 
 	var pc *telemetry.Span
 	if sp != nil {
@@ -440,8 +544,12 @@ func (o *OS) deliver(in *intent.Intent, kind manifest.ComponentType, verb string
 	// 4. Process bring-up and delivery bookkeeping.
 	proc := o.ensureProcess(comp.Name.Package)
 	o.lastDeliver[proc.PID] = comp.Name
-	o.log.Log(1000, 1000, logcat.Info, logcat.TagActivityManager,
-		"Delivering to %s cmp=%s pid=%d", comp.Type, comp.Name.FlattenToString(), proc.PID)
+	o.log.LogLazy(1000, 1000, logcat.Info, logcat.TagActivityManager, logcat.Payload{
+		Op:   logcat.MsgDelivering,
+		Verb: comp.Type.String(),
+		Comp: comp.Name,
+		PID:  proc.PID,
+	})
 
 	// 5. Handler execution.
 	h := o.handlers[comp.Name]
@@ -449,9 +557,10 @@ func (o *OS) deliver(in *intent.Intent, kind manifest.ComponentType, verb string
 	if h != nil {
 		var hs *telemetry.Span
 		if sp != nil {
-			hs = sp.Child("handler:" + comp.Name.FlattenToString())
+			hs = sp.Child("handler:" + comp.Flat())
 		}
-		out = h(&Env{PID: proc.PID, Clock: o.clock, Log: o.log}, in)
+		o.env = Env{PID: proc.PID, Clock: o.clock, Log: o.log}
+		out = h(&o.env, in)
 		hs.End()
 	}
 	tr := o.traits[comp.Name]
@@ -474,45 +583,59 @@ func (o *OS) deliver(in *intent.Intent, kind manifest.ComponentType, verb string
 // resolution, export/permission) and returns either the resolved component
 // or the blocking DeliveryResult (zero when delivery may proceed).
 func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Component, DeliveryResult) {
+	// Denial lines are deterministic per (component, action, uid, kind), so
+	// each distinct one is rendered once via gateMsg and then replayed from
+	// the cache; Log passes a plain message through without reformatting.
+
 	// 1. Protected actions are reserved for the OS; QGJ (an unprivileged
 	// app) sending e.g. ACTION_BATTERY_LOW gets a SecurityException and the
 	// intent is ignored — "the specified and secure behavior" (Section IV-A).
 	if intent.IsProtected(in.Action) && in.SenderUID != UIDSystem {
-		thr := javalang.Newf(javalang.ClassSecurity,
-			"Permission Denial: not allowed to send broadcast %s from pid=?, uid=%d", in.Action, in.SenderUID)
-		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
-			"%s targeting %s", thr.Error(), in.Component.FlattenToString())
+		msg := o.gateMsg(gateKey{comp: in.Component, action: in.Action, uid: in.SenderUID, reason: gateProtected},
+			func() string {
+				thr := javalang.Newf(javalang.ClassSecurity,
+					"Permission Denial: not allowed to send broadcast %s from pid=?, uid=%d", in.Action, in.SenderUID)
+				return thr.Error() + " targeting " + in.Component.FlattenToString()
+			})
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
 		return nil, BlockedSecurity
 	}
 
 	// 2. Resolution.
 	comp := o.reg.Resolve(in, kind)
 	if comp == nil {
-		if kind == manifest.Activity {
-			thr := javalang.Newf(javalang.ClassActivityNotFound,
-				"Unable to find explicit activity class %s; have you declared this activity in your AndroidManifest.xml?",
-				in.Component.FlattenToString())
-			o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, "%s", thr.Error())
-		} else {
-			o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
-				"Unable to start service %s: not found", in.Component.FlattenToString())
-		}
+		msg := o.gateMsg(gateKey{comp: in.Component, kind: kind, reason: gateNotFound},
+			func() string {
+				if kind == manifest.Activity {
+					return javalang.Newf(javalang.ClassActivityNotFound,
+						"Unable to find explicit activity class %s; have you declared this activity in your AndroidManifest.xml?",
+						in.Component.FlattenToString()).Error()
+				}
+				return "Unable to start service " + in.Component.FlattenToString() + ": not found"
+			})
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
 		return nil, BlockedNotFound
 	}
 
 	// 3. Export / permission checks on the target component.
 	if !comp.Exported && in.SenderUID != UIDSystem {
-		thr := javalang.Newf(javalang.ClassSecurity,
-			"Permission Denial: %s not exported from uid %d", comp.Name.FlattenToString(), in.SenderUID)
-		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
-			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
+		msg := o.gateMsg(gateKey{comp: comp.Name, uid: in.SenderUID, reason: gateNotExported},
+			func() string {
+				thr := javalang.Newf(javalang.ClassSecurity,
+					"Permission Denial: %s not exported from uid %d", comp.Flat(), in.SenderUID)
+				return thr.Error() + " targeting " + comp.Flat()
+			})
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
 		return nil, BlockedSecurity
 	}
 	if comp.Permission != "" && in.SenderUID != UIDSystem {
-		thr := javalang.Newf(javalang.ClassSecurity,
-			"Permission Denial: starting %s requires %s", comp.Name.FlattenToString(), comp.Permission)
-		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
-			"%s targeting %s", thr.Error(), comp.Name.FlattenToString())
+		msg := o.gateMsg(gateKey{comp: comp.Name, uid: in.SenderUID, reason: gateNeedsPermission},
+			func() string {
+				thr := javalang.Newf(javalang.ClassSecurity,
+					"Permission Denial: starting %s requires %s", comp.Flat(), comp.Permission)
+				return thr.Error() + " targeting " + comp.Flat()
+			})
+		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
 		return nil, BlockedSecurity
 	}
 	return comp, 0
@@ -531,7 +654,7 @@ func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits,
 		proc.ANRs++
 		o.osm.anrs.Inc()
 		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
-			"ANR in %s (%s)", proc.Name, comp.Name.FlattenToString())
+			"ANR in %s (%s)", proc.Name, comp.Flat())
 		o.log.Log(1000, 1000, logcat.Error, logcat.TagActivityManager,
 			"Reason: Input dispatching timed out (Waiting to send non-key event because the touched window has not finished processing certain input events)")
 		anrEntry := DropBoxEntry{
@@ -558,17 +681,21 @@ func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits,
 		return DeliveredNoEffect
 	case out.Caught:
 		// Handled gracefully: the app logs it and moves on.
-		o.log.Log(proc.PID, proc.PID, logcat.Warn, proc.Name,
-			"caught exception while handling intent: %s", out.Thrown.Error())
+		o.log.LogLazy(proc.PID, proc.PID, logcat.Warn, proc.Name, logcat.Payload{
+			Op:  logcat.MsgCaught,
+			Err: out.Thrown.Error(),
+		})
 		o.sysSrv.RecordStartSuccess(comp.Name)
 		return DeliveredHandledException
 	case out.Rejected:
 		// Validation refusal: the exception crosses the IPC boundary back
 		// to the sender. Logged by the system with component attribution so
 		// the analyzer can count it (Fig. 2), but nothing crashes.
-		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager,
-			"Exception thrown delivering intent to cmp=%s: %s",
-			comp.Name.FlattenToString(), out.Thrown.Error())
+		o.log.LogLazy(1000, 1000, logcat.Warn, logcat.TagActivityManager, logcat.Payload{
+			Op:   logcat.MsgRejected,
+			Comp: comp.Name,
+			Err:  out.Thrown.Error(),
+		})
 		o.sysSrv.RecordStartSuccess(comp.Name)
 		return DeliveredRejected
 	default:

@@ -1,0 +1,210 @@
+// Equivalence gate for the zero-allocation logging work: the logcat text a
+// campaign produces is part of the reproduction's observable output (the
+// analyzer, the farm merge, and the report exports all read it), so the
+// lazy-rendering hot path must emit byte-identical logs to the original
+// eager fmt.Sprintf formatting. The golden file under testdata/ was
+// generated from the eager implementation; regenerate with
+//
+//	QGJ_UPDATE_GOLDEN=1 go test -run TestLogcatDumpMatchesGolden .
+//
+// only when the *intended* log text changes (new log lines, new fields) —
+// never to paper over a formatting regression.
+package qgj_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	qgj "repro"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/intent"
+	"repro/internal/logcat"
+	"repro/internal/manifest"
+	"repro/internal/wearos"
+)
+
+const goldenDumpPath = "testdata/golden_dump.txt"
+
+// buildGoldenScenario drives a deterministic reduced campaign through every
+// logging surface the optimization touches: the dispatch hot path (campaign
+// A), the extras path (campaign D), the eager fallback (an intent carrying
+// categories, MIME type, and flags), broadcasts, and service binding.
+func buildGoldenScenario(t testing.TB) *wearos.OS {
+	t.Helper()
+	dev := wearos.New(wearos.DefaultWatchConfig())
+	fleet := qgj.BuildWearFleet(1)
+	if err := fleet.InstallInto(dev); err != nil {
+		t.Fatal(err)
+	}
+	inj := &core.Injector{Dev: dev, Cfg: experiments.QuickGen(8)}
+	inj.FuzzApp(core.CampaignA, fleet.Packages[0])
+	inj.FuzzApp(core.CampaignD, fleet.Packages[0])
+
+	// Eager-fallback dispatch: categories, MIME type, flags, and extras all
+	// set, so the intent cannot take the structured fast path.
+	full := &intent.Intent{
+		Action:    "android.intent.action.VIEW",
+		Component: fleet.Packages[0].Components[0].Name,
+		Type:      "text/plain",
+		Flags:     intent.FlagActivityNewTask,
+		SenderUID: core.QGJUID,
+	}
+	full.AddCategory(intent.CategoryDefault)
+	full.Data, _ = intent.ParseURI("https://foo.com/")
+	full.PutExtra("k", intent.StringValue("v"))
+	dev.StartActivity(full)
+
+	// Service binding and broadcast surfaces.
+	for _, pkg := range fleet.Packages {
+		for _, comp := range pkg.Components {
+			if comp.Type == manifest.Service && comp.Exported {
+				conn, thr := dev.BindService(&intent.Intent{
+					Component: comp.Name, SenderUID: core.QGJUID,
+				})
+				if thr == nil {
+					conn.Close()
+				}
+				dev.SendBroadcast(&intent.Intent{
+					Action:    "android.intent.action.BATTERY_LOW",
+					Component: comp.Name,
+					SenderUID: core.QGJUID,
+				})
+				return dev
+			}
+		}
+	}
+	return dev
+}
+
+// TestLogcatDumpMatchesGolden pins the full logcat text of the scenario,
+// byte for byte, against the dump the eager formatting produced.
+func TestLogcatDumpMatchesGolden(t *testing.T) {
+	dev := buildGoldenScenario(t)
+	got := dev.Logcat().Dump()
+
+	if os.Getenv("QGJ_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenDumpPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDumpPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenDumpPath, len(got))
+		return
+	}
+
+	wantBytes, err := os.ReadFile(goldenDumpPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with QGJ_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Errorf("dump has %d lines, golden has %d", len(gotLines), len(wantLines))
+	}
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 5; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Errorf("line %d:\n got: %q\nwant: %q", i+1, gotLines[i], wantLines[i])
+			shown++
+		}
+	}
+	t.Fatal("logcat dump is not byte-identical to the eager-formatting golden")
+}
+
+// TestSnapshotFormatMatchesDump pins Snapshot()+Format() against Dump():
+// the two read paths must render identical text for every retained entry.
+func TestSnapshotFormatMatchesDump(t *testing.T) {
+	dev := buildGoldenScenario(t)
+	snap := dev.Logcat().Snapshot()
+	var sb strings.Builder
+	for _, e := range snap {
+		sb.WriteString(e.Format())
+		sb.WriteByte('\n')
+	}
+	if sb.String() != dev.Logcat().Dump() {
+		t.Fatal("Snapshot()+Format() text differs from Dump()")
+	}
+}
+
+// TestPooledGenerationClonesAreStable guards the intent pool's aliasing
+// contract: a Clone taken inside the emit callback must stay byte-stable
+// after the generator resets and reuses the pooled intent for the rest of
+// the stream. Campaign D is the sharpest probe — its extras exercise the
+// pooled Bundle storage that Reset recycles.
+func TestPooledGenerationClonesAreStable(t *testing.T) {
+	target := intent.ComponentName{Package: "com.x", Class: "com.x.ui.Main"}
+	cfg := core.GeneratorConfig{Seed: 7, ActionStride: 4}
+	for _, c := range core.AllCampaigns {
+		var clones []*intent.Intent
+		var atEmission []string
+		c.Generate(target, cfg, core.QGJUID, func(in *intent.Intent) {
+			clones = append(clones, in.Clone())
+			atEmission = append(atEmission, in.String())
+		})
+		for i, cl := range clones {
+			if got := cl.String(); got != atEmission[i] {
+				t.Fatalf("campaign %s intent %d mutated after clone:\n at emission: %s\n       after: %s",
+					c.Letter(), i, atEmission[i], got)
+			}
+		}
+	}
+}
+
+// TestAnalysisMatchesParsedDump pins the classification equivalence: the
+// streaming collector fed live entries must agree with a collector fed the
+// dump text parsed back line by line (the paper's pull-then-analyze path).
+func TestAnalysisMatchesParsedDump(t *testing.T) {
+	dev := buildGoldenScenario(t)
+	live := analysis.AnalyzeEntries(dev.Logcat().Snapshot())
+
+	var parsed []logcat.Entry
+	for _, line := range strings.Split(strings.TrimSuffix(dev.Logcat().Dump(), "\n"), "\n") {
+		e, ok := logcat.ParseLine(line, 0)
+		if !ok {
+			t.Fatalf("dump line does not parse: %q", line)
+		}
+		parsed = append(parsed, e)
+	}
+	fromDump := analysis.AnalyzeEntries(parsed)
+
+	if live.Entries != fromDump.Entries {
+		t.Fatalf("entries: live %d, parsed %d", live.Entries, fromDump.Entries)
+	}
+	if live.CrashEvents != fromDump.CrashEvents ||
+		live.ANREvents != fromDump.ANREvents ||
+		live.SecurityEvents != fromDump.SecurityEvents {
+		t.Fatalf("event counts diverge: live crash=%d anr=%d sec=%d, parsed crash=%d anr=%d sec=%d",
+			live.CrashEvents, live.ANREvents, live.SecurityEvents,
+			fromDump.CrashEvents, fromDump.ANREvents, fromDump.SecurityEvents)
+	}
+	if len(live.Components) != len(fromDump.Components) {
+		t.Fatalf("component counts diverge: live %d, parsed %d",
+			len(live.Components), len(fromDump.Components))
+	}
+	for cn, lc := range live.Components {
+		pc, ok := fromDump.Components[cn]
+		if !ok {
+			t.Fatalf("component %s missing from parsed report", cn.FlattenToString())
+		}
+		if lc.Manifestation() != pc.Manifestation() || lc.Deliveries != pc.Deliveries ||
+			lc.Security != pc.Security || lc.ANRs != pc.ANRs ||
+			fmt.Sprint(lc.CrashRoots) != fmt.Sprint(pc.CrashRoots) ||
+			fmt.Sprint(lc.Rejected) != fmt.Sprint(pc.Rejected) ||
+			fmt.Sprint(lc.Caught) != fmt.Sprint(pc.Caught) {
+			t.Fatalf("component %s classification diverges", cn.FlattenToString())
+		}
+	}
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Benchmark-regression gate for the injection hot path.
+#
+# Runs the hot-path benchmark suite, emits BENCH_4.json (machine-readable
+# current numbers next to the frozen pre-optimization baseline), and fails
+# if any gated benchmark regresses past its ceiling. The ceilings are set
+# from the perf pass that introduced this gate, with ~40% headroom for
+# machine-to-machine variance; they exist to catch order-of-magnitude
+# regressions (a reintroduced per-intent allocation, an unbatched counter),
+# not single-digit drift.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_4.json}"
+raw="$(mktemp -t qgj-bench-XXXXXX.txt)"
+trap 'rm -f "$raw"' EXIT
+
+# -count=3: benchgate keeps per-benchmark minima, the robust estimator
+# under scheduler noise (the telemetry-delta gate compares two ~300ns
+# numbers and would flake on single runs).
+go test -run '^$' \
+    -bench 'DispatchNoEffect|DispatchNoTelemetry|CampaignInstrumented|CampaignNoTelemetry|TableI_CampaignGeneration|IntentString|LogcatAppend|LogcatFormatParse' \
+    -benchmem -benchtime=1s -count=3 . | tee "$raw"
+
+go run ./scripts/benchgate -input "$raw" -output "$out"
+echo "wrote $out"

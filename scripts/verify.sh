@@ -10,6 +10,15 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Allocation-regression gate: AllocsPerRun is meaningless under -race (the
+# instrumentation allocates), so the ceilings in alloc_gate_test.go carry a
+# !race build tag and need this separate non-race invocation.
+go test -run 'AllocFree|AllocBudget' .
+
+# Hot-path benchmark smoke: a fast -benchtime pass proving the dispatch
+# benches still run (the full gate with ceilings is scripts/bench.sh).
+go test -run '^$' -bench Dispatch -benchtime 100x .
+
 # The farm is the one subsystem whose whole point is concurrency: run its
 # suite again explicitly so a filtered invocation of this gate still
 # exercises the worker pool, journal appends, and merge under -race.
