@@ -56,11 +56,16 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "farm mode: run shards on this many parallel devices (>1 enables the farm)")
 	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
 	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
+	snapshotMode := fs.String("snapshot", "on", "farm mode: clone shard devices from a booted snapshot (on) or boot each fresh (off); results are identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *snapshotMode != "on" && *snapshotMode != "off" {
+		return fmt.Errorf("-snapshot must be on or off, got %q", *snapshotMode)
+	}
 
-	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume}
+	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume,
+		DisableSnapshot: *snapshotMode == "off"}
 	if sharding.Enabled() {
 		if *resume && *checkpoint == "" {
 			return fmt.Errorf("-resume requires -checkpoint")
@@ -222,6 +227,17 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 	}
 	res, err := farm.Run(cfg)
 	prog.Flush()
+	if prog != nil {
+		snap := cfg.Telemetry.Snapshot()
+		hits := snap.Counters["farm_snapshot_hits_total"]
+		misses := snap.Counters["farm_snapshot_misses_total"]
+		line := fmt.Sprintf("qgj: snapshot hits=%d misses=%d", hits, misses)
+		if clone := snap.Histograms["farm_clone_seconds"]; clone.Count > 0 {
+			line += fmt.Sprintf(" clone-avg=%s",
+				time.Duration(clone.Sum/float64(clone.Count)*float64(time.Second)).Round(time.Microsecond))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 	if err != nil {
 		return err
 	}

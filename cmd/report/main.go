@@ -42,10 +42,15 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "run the wear/phone studies on the farm engine with this many parallel devices (>1 enables sharding)")
 	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
 	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
+	snapshotMode := fs.String("snapshot", "on", "farm mode: clone shard devices from a booted snapshot (on) or boot each fresh (off); results are identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume}
+	if *snapshotMode != "on" && *snapshotMode != "off" {
+		return fmt.Errorf("-snapshot must be on or off, got %q", *snapshotMode)
+	}
+	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume,
+		DisableSnapshot: *snapshotMode == "off"}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}

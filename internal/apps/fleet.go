@@ -200,6 +200,22 @@ func (f *Fleet) samplePackage(p *manifest.Package, crashy bool) {
 	}
 }
 
+// newSparseFleet materializes the population of the given kind without
+// sampling any behaviour. Only the fleet kinds with a single-device
+// population support it (EmulatorFleet restructures the package list).
+func newSparseFleet(kind FleetKind, seed uint64) (*Fleet, error) {
+	switch kind {
+	case WearFleet:
+		return newFleet(WearFleet, seed, wearPopulation()), nil
+	case PhoneFleet:
+		return newFleet(PhoneFleet, seed, phonePopulation()), nil
+	case LegacyPhoneFleet:
+		return newFleet(LegacyPhoneFleet, seed, phonePopulation()), nil
+	default:
+		return nil, fmt.Errorf("apps: no single-package build for fleet kind %s", kind)
+	}
+}
+
 // BuildFleetPackage materializes the population of the given kind with
 // behaviour sampled only for the named package. Farm shards fuzz one
 // package per freshly booted device; skipping the rest of the population's
@@ -207,21 +223,79 @@ func (f *Fleet) samplePackage(p *manifest.Package, crashy bool) {
 // behaviour bit-identical to the full build (asserted by
 // TestBuildFleetPackageMatchesFullBuild).
 func BuildFleetPackage(kind FleetKind, seed uint64, pkg string) (*Fleet, error) {
-	var f *Fleet
-	switch kind {
-	case WearFleet:
-		f = newFleet(WearFleet, seed, wearPopulation())
-	case PhoneFleet:
-		f = newFleet(PhoneFleet, seed, phonePopulation())
-	case LegacyPhoneFleet:
-		f = newFleet(LegacyPhoneFleet, seed, phonePopulation())
-	default:
-		return nil, fmt.Errorf("apps: no single-package build for fleet kind %s", kind)
+	f, err := newSparseFleet(kind, seed)
+	if err != nil {
+		return nil, err
 	}
 	if err := f.sampleOnly(pkg); err != nil {
 		return nil, err
 	}
 	if kind == WearFleet {
+		f.applyWearScenarios()
+	}
+	return f, nil
+}
+
+// FleetTemplate is the population built once and shared across every shard
+// of a farm run: the manifest packages (structurally shared, treated as
+// read-only after construction) plus the population-wide crashy quota draw.
+// Instantiate stamps out a per-shard Fleet that shares the packages but
+// samples behaviour for just one target package — the same result as
+// BuildFleetPackage without rebuilding 46 manifests and re-running the
+// quota draw per shard (asserted by TestFleetTemplateMatchesBuildFleetPackage).
+type FleetTemplate struct {
+	kind     FleetKind
+	seed     uint64
+	packages []*manifest.Package
+	crashy   map[string]bool
+}
+
+// NewFleetTemplate builds the shared population once. Safe to share across
+// goroutines afterwards; Instantiate may be called concurrently.
+func NewFleetTemplate(kind FleetKind, seed uint64) (*FleetTemplate, error) {
+	f, err := newSparseFleet(kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	crashy := f.crashyQuota()
+	if kind == WearFleet {
+		// The scenarios' manifest-level effects (ensureReachable's export/
+		// permission strips) land here, once, while the packages are still
+		// private; the behaviour overrides no-op on the empty behaviour maps
+		// and are re-applied by each Instantiate.
+		f.applyWearScenarios()
+	}
+	// Pre-warm the interned component strings so concurrent installs into
+	// device clones only ever read them (Install's writes are conditional).
+	for _, p := range f.Packages {
+		for _, c := range p.Components {
+			c.Flat()
+			c.BindEndpoint()
+		}
+	}
+	return &FleetTemplate{kind: kind, seed: seed, packages: f.Packages, crashy: crashy}, nil
+}
+
+// Kind returns the template's fleet kind.
+func (t *FleetTemplate) Kind() FleetKind { return t.kind }
+
+// Instantiate returns a fleet sharing the template's packages with
+// behaviour sampled for just the named package — bit-identical to
+// BuildFleetPackage(t.kind, t.seed, pkg). Safe to call concurrently.
+func (t *FleetTemplate) Instantiate(pkg string) (*Fleet, error) {
+	f := &Fleet{
+		Kind:      t.kind,
+		Seed:      t.seed,
+		Packages:  t.packages,
+		behaviors: make(map[intent.ComponentName]*behavior),
+		traits:    make(map[intent.ComponentName]wearos.ComponentTraits),
+	}
+	p := f.Package(pkg)
+	if p == nil {
+		return nil, fmt.Errorf("package %q not in the %s fleet", pkg, f.Kind)
+	}
+	f.samplePackage(p, t.crashy[pkg])
+	if t.kind == WearFleet {
 		f.applyWearScenarios()
 	}
 	return f, nil

@@ -63,8 +63,15 @@ func (f *Fleet) ensureReachable(cn intent.ComponentName) {
 	}
 	for _, c := range p.Components {
 		if c.Name == cn {
-			c.Exported = true
-			c.Permission = ""
+			// Write-once: scenario packages may be structurally shared across
+			// concurrently instantiated fleets (FleetTemplate), and the
+			// template applied these strips before publishing the packages.
+			if !c.Exported {
+				c.Exported = true
+			}
+			if c.Permission != "" {
+				c.Permission = ""
+			}
 			return
 		}
 	}

@@ -143,6 +143,15 @@ func (r *Router) Lookup(name string) bool {
 	return ok && r.alive[ep.OwnerPID]
 }
 
+// Endpoints returns the number of published endpoints. Endpoint handlers
+// are closures over their owning device, so snapshotting refuses any device
+// with a non-zero count.
+func (r *Router) Endpoints() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.endpoints)
+}
+
 // TxCount returns the number of transactions delivered (including failed
 // ones).
 func (r *Router) TxCount() uint64 {

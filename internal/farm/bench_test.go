@@ -17,13 +17,13 @@ var benchPackages = []string{
 	"com.citymapper.wear", "com.duolingo.wear",
 }
 
-func runBench(b *testing.B, workers int) {
+func runBench(b *testing.B, workers int, freshBoot bool) {
 	b.Helper()
 	cfg := farm.Config{
 		Seed:          1,
 		Packages:      benchPackages,
 		Gen:           experiments.QuickGen(4),
-		Sharding:      core.Sharding{Workers: workers},
+		Sharding:      core.Sharding{Workers: workers, DisableSnapshot: freshBoot},
 		DisableTriage: true,
 	}
 	b.ReportAllocs()
@@ -39,6 +39,13 @@ func runBench(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkCampaign_Serial(b *testing.B) { runBench(b, 1) }
+func BenchmarkCampaign_Serial(b *testing.B) { runBench(b, 1, false) }
 
-func BenchmarkCampaign_Farm8(b *testing.B) { runBench(b, 8) }
+func BenchmarkCampaign_Farm8(b *testing.B) { runBench(b, 8, false) }
+
+// The snapshot acceptance pair: identical run, snapshot clones versus a
+// fresh boot + fleet rebuild per shard. scripts/benchgate enforces the ≥2x
+// speedup floor on this ratio.
+func BenchmarkFarm8Snapshot(b *testing.B) { runBench(b, 8, false) }
+
+func BenchmarkFarm8FreshBoot(b *testing.B) { runBench(b, 8, true) }

@@ -25,6 +25,7 @@ package farm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,6 +129,10 @@ type farmMetrics struct {
 	mergeSeconds *telemetry.Histogram
 	crashesRaw   *telemetry.Gauge
 	crashBuckets *telemetry.Gauge
+	snapHits     *telemetry.Counter
+	snapMisses   *telemetry.Counter
+	cloneSeconds *telemetry.Histogram
+	queueWait    *telemetry.Histogram
 }
 
 func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
@@ -142,6 +147,10 @@ func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
 		mergeSeconds: reg.Histogram("farm_merge_seconds", telemetry.DefLatencyBuckets),
 		crashesRaw:   reg.Gauge("farm_crashes_raw"),
 		crashBuckets: reg.Gauge("farm_crash_buckets"),
+		snapHits:     reg.Counter("farm_snapshot_hits_total"),
+		snapMisses:   reg.Counter("farm_snapshot_misses_total"),
+		cloneSeconds: reg.Histogram("farm_clone_seconds", telemetry.DefLatencyBuckets),
+		queueWait:    reg.Histogram("farm_shard_queue_wait_seconds", telemetry.DefLatencyBuckets),
 	}
 }
 
@@ -225,7 +234,18 @@ func Run(cfg Config) (*Result, error) {
 		met.resumed.Add(uint64(resumed))
 	}
 
-	if err := runPending(cfg, fleetKind, plan, results, jnl, workers, met); err != nil {
+	// Per-package fuzzable-component counts feed the tail-aware scheduler's
+	// shard cost estimates.
+	comps := make(map[string]int, len(targets))
+	for _, p := range targets {
+		for _, c := range p.Components {
+			if c.Type == manifest.Activity || c.Type == manifest.Service {
+				comps[p.Name]++
+			}
+		}
+	}
+
+	if err := runPending(cfg, fleetKind, plan, comps, results, jnl, workers, met); err != nil {
 		return nil, err
 	}
 
@@ -233,7 +253,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Resumed = resumed
 	res.Workers = workers
 	if !cfg.DisableTriage {
-		res.Triage = triageCrashes(fleetKind, cfg.Seed, fleet, results)
+		res.Triage = triageCrashes(cfg, fleetKind, fleet, results)
 		met.crashesRaw.Set(float64(res.Triage.Crashes))
 		met.crashBuckets.Set(float64(res.Triage.Unique()))
 	}
@@ -315,8 +335,10 @@ func prepareCheckpoint(cfg Config, fp uint64, kind apps.FleetKind, plan []ShardK
 }
 
 // runPending executes every shard without a result yet on a worker pool and
-// journals each completion.
-func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, results []*ShardResult, jnl *journal, workers int, met farmMetrics) error {
+// journals each completion. Pending shards are dispatched longest-first
+// (scheduleLPT) so the biggest shard starts immediately instead of landing
+// on an otherwise-drained pool and gating the merge barrier alone.
+func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, comps map[string]int, results []*ShardResult, jnl *journal, workers int, met farmMetrics) error {
 	var pending []int
 	sent := 0
 	done := 0
@@ -334,8 +356,10 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, results []*Sha
 	if workers > len(pending) {
 		workers = len(pending)
 	}
+	scheduleLPT(pending, plan, comps, cfg.Gen)
 
 	idxCh := make(chan int)
+	feedStart := time.Now()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex // guards results/sent/done/journal append/progress
@@ -361,9 +385,10 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, results []*Sha
 				if failed() {
 					continue // drain
 				}
+				met.queueWait.Observe(time.Since(feedStart).Seconds())
 				met.inflight.Add(1)
 				start := time.Now()
-				sr, err := runShard(cfg, kind, plan[idx])
+				sr, err := runShard(cfg, kind, plan[idx], met)
 				met.shardSeconds.Observe(time.Since(start).Seconds())
 				met.inflight.Add(-1)
 				if err != nil {
@@ -407,24 +432,43 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, results []*Sha
 	return firstErr
 }
 
-// runShard executes one work unit in full isolation: fresh fleet, fresh
-// device, own collectors. The shard's generator seed is a SplitMix64 split
-// of the study seed on the shard key, so generation is independent of
-// execution order and worker count.
-func runShard(cfg Config, kind apps.FleetKind, key ShardKey) (*ShardResult, error) {
-	// Only the shard's own package gets sampled and installed: the injector
-	// never targets anything else, and the single-package build is
-	// bit-identical for the target (apps.BuildFleetPackage), so shard
-	// startup stays cheap without touching results.
-	fleet, err := apps.BuildFleetPackage(kind, cfg.Seed, key.Package)
+// scheduleLPT reorders pending shard indices longest-processing-time-first.
+// Shard cost is proportional to the intents it will inject — the campaign's
+// per-component count times the package's fuzzable-component count — which
+// is known exactly up front, so the classic LPT bound applies: dispatching
+// the largest shards first keeps the last-finishing worker's overhang to at
+// most one small shard instead of one large one. Ties keep canonical plan
+// order, so the schedule (and therefore the journal append order under one
+// worker) is deterministic.
+func scheduleLPT(pending []int, plan []ShardKey, comps map[string]int, gen core.GeneratorConfig) {
+	est := make(map[int]int, len(pending))
+	for _, idx := range pending {
+		key := plan[idx]
+		est[idx] = key.Campaign.CountPerComponent(gen) * comps[key.Package]
+	}
+	sort.SliceStable(pending, func(i, j int) bool {
+		a, b := pending[i], pending[j]
+		if est[a] != est[b] {
+			return est[a] > est[b]
+		}
+		return a < b
+	})
+}
+
+// runShard executes one work unit in full isolation: own fleet behaviour
+// state, own device, own collectors. The device comes from the snapshot
+// cache (a clone of the booted template, observably identical to a fresh
+// boot) unless snapshots are disabled; the fleet shares the template's
+// manifests but samples behaviour for just this shard's package. The
+// shard's generator seed is a SplitMix64 split of the study seed on the
+// shard key, so generation is independent of execution order and worker
+// count.
+func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*ShardResult, error) {
+	fleet, dev, err := bootShard(cfg, kind, key.Package, met)
 	if err != nil {
 		return nil, err
 	}
-	dev := wearos.New(deviceConfig(kind))
-	pkg, err := fleet.InstallPackageInto(dev, key.Package)
-	if err != nil {
-		return nil, err
-	}
+	pkg := fleet.Package(key.Package)
 
 	col := analysis.NewCollector()
 	dev.Logcat().Subscribe(col)
@@ -493,21 +537,24 @@ func merge(fleet *apps.Fleet, campaigns []core.Campaign, plan []ShardKey, result
 // and greedily minimizes one reproducer per bucket on a fresh oracle
 // device. Runs after the merge, serially, so its output is as deterministic
 // as the merge itself.
-func triageCrashes(kind apps.FleetKind, seed uint64, fleet *apps.Fleet, results []*ShardResult) *triage.Result {
+func triageCrashes(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, results []*ShardResult) *triage.Result {
 	var all []*triage.Crash
 	for _, sr := range results {
 		all = append(all, sr.Crashes...)
 	}
 	res := triage.Bucketize(all)
 	for i := range res.Buckets {
-		minimizeBucket(kind, seed, fleet, &res.Buckets[i])
+		minimizeBucket(cfg, kind, fleet, &res.Buckets[i])
 	}
 	return res
 }
 
 // minimizeBucket reduces the bucket's exemplar intent while the same stack
-// bucket keeps reproducing on a freshly booted device.
-func minimizeBucket(kind apps.FleetKind, seed uint64, fleet *apps.Fleet, b *triage.Bucket) {
+// bucket keeps reproducing on a fresh oracle device. Oracle boots go
+// through bootShard too (clones when snapshots are enabled) but with a
+// zero-value farmMetrics so triage does not pollute the shard-level
+// hit/clone telemetry.
+func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triage.Bucket) {
 	exemplar := b.Exemplar
 	if exemplar == nil || exemplar.Intent == nil {
 		return
@@ -516,12 +563,8 @@ func minimizeBucket(kind apps.FleetKind, seed uint64, fleet *apps.Fleet, b *tria
 	if !ok {
 		return
 	}
-	oracleFleet, err := apps.BuildFleetPackage(kind, seed, exemplar.Intent.Component.Package)
+	_, dev, err := bootShard(cfg, kind, exemplar.Intent.Component.Package, farmMetrics{})
 	if err != nil {
-		return
-	}
-	dev := wearos.New(deviceConfig(kind))
-	if _, err := oracleFleet.InstallPackageInto(dev, exemplar.Intent.Component.Package); err != nil {
 		return
 	}
 	tri := triage.NewCollector()

@@ -1,0 +1,55 @@
+package farm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestScheduleLPT pins the tail-aware dispatch order: shards sort by exact
+// up-front cost (campaign per-component count × fuzzable components),
+// largest first, with ties keeping canonical plan order.
+func TestScheduleLPT(t *testing.T) {
+	gen := core.GeneratorConfig{ActionStride: 4, SchemeStride: 2, RandomVariants: 1, ExtrasVariants: 1}
+	plan := []ShardKey{
+		{Campaign: core.CampaignA, Package: "com.small"},  // 1 component
+		{Campaign: core.CampaignA, Package: "com.big"},    // 9 components
+		{Campaign: core.CampaignA, Package: "com.medium"}, // 4 components
+		{Campaign: core.CampaignA, Package: "com.big2"},   // 9 components (tie with com.big)
+	}
+	comps := map[string]int{"com.small": 1, "com.big": 9, "com.medium": 4, "com.big2": 9}
+
+	pending := []int{0, 1, 2, 3}
+	scheduleLPT(pending, plan, comps, gen)
+	if want := []int{1, 3, 2, 0}; !reflect.DeepEqual(pending, want) {
+		t.Fatalf("LPT order = %v, want %v (big, big2 tie in plan order, medium, small)", pending, want)
+	}
+
+	// A partially resumed run schedules only what is pending, same rule.
+	partial := []int{0, 2}
+	scheduleLPT(partial, plan, comps, gen)
+	if want := []int{2, 0}; !reflect.DeepEqual(partial, want) {
+		t.Fatalf("partial LPT order = %v, want %v", partial, want)
+	}
+
+	// Campaigns with bigger per-component counts outrank component count
+	// alone when the product says so.
+	mixed := []ShardKey{
+		{Campaign: core.CampaignA, Package: "com.small"},
+		{Campaign: core.CampaignD, Package: "com.small"},
+	}
+	if core.CampaignA.CountPerComponent(gen) == core.CampaignD.CountPerComponent(gen) {
+		t.Skip("campaigns A and D have equal per-component cost at this gen scale")
+	}
+	order := []int{0, 1}
+	scheduleLPT(order, mixed, map[string]int{"com.small": 1}, gen)
+	first := mixed[order[0]].Campaign
+	wantFirst := core.CampaignA
+	if core.CampaignD.CountPerComponent(gen) > core.CampaignA.CountPerComponent(gen) {
+		wantFirst = core.CampaignD
+	}
+	if first != wantFirst {
+		t.Fatalf("campaign %s dispatched first, want %s", first.Letter(), wantFirst.Letter())
+	}
+}

@@ -1,0 +1,141 @@
+// Forkserver-style shard startup: instead of booting a fresh device and
+// rebuilding the fleet population for every (campaign, package) shard, the
+// farm boots one template device per distinct device configuration, builds
+// one fleet template per (fleet kind, seed), and stamps each shard out of
+// them — wearos.Snapshot.Clone for the device, apps.FleetTemplate.
+// Instantiate for the behaviour models. Clones are observably identical to
+// fresh boots (the snapshot determinism contract), so the merged result is
+// byte-identical in both modes; core.Sharding.DisableSnapshot selects the
+// fresh-boot path for benchmarking and bisection.
+package farm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/wearos"
+)
+
+// fleetKey identifies one shared fleet template.
+type fleetKey struct {
+	kind apps.FleetKind
+	seed uint64
+}
+
+// snapshotCache holds the process-wide boot templates. wearos.Config is a
+// comparable value of scalars, so it serves directly as the device config
+// fingerprint; a different LogCapacity or aging model keys a different
+// snapshot, which is exactly the invalidation rule we want.
+type snapshotCache struct {
+	mu     sync.Mutex
+	fleets map[fleetKey]*apps.FleetTemplate
+	devs   map[wearos.Config]*wearos.Snapshot
+}
+
+// cacheLimit bounds each cache map. Real processes use a handful of
+// (kind, seed, config) combinations; a runaway caller cycling seeds (e.g. a
+// fuzz test) must not grow the maps without bound, so overflowing resets
+// them — correctness never depends on a hit.
+const cacheLimit = 16
+
+// bootCache is the process-wide template store. Templates are immutable
+// once built, so sharing across concurrent farm runs is safe.
+var bootCache snapshotCache
+
+// fleetTemplate returns the shared population template for (kind, seed),
+// building it on miss. hit reports whether it was already cached.
+func (c *snapshotCache) fleetTemplate(kind apps.FleetKind, seed uint64) (t *apps.FleetTemplate, hit bool, err error) {
+	key := fleetKey{kind: kind, seed: seed}
+	c.mu.Lock()
+	if t = c.fleets[key]; t != nil {
+		c.mu.Unlock()
+		return t, true, nil
+	}
+	// Build under the lock: concurrent workers missing on the same key must
+	// not build (and race to publish) duplicate templates, and construction
+	// is a one-time cost per run.
+	t, err = apps.NewFleetTemplate(kind, seed)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	if len(c.fleets) >= cacheLimit {
+		c.fleets = nil
+	}
+	if c.fleets == nil {
+		c.fleets = make(map[fleetKey]*apps.FleetTemplate)
+	}
+	c.fleets[key] = t
+	c.mu.Unlock()
+	return t, false, nil
+}
+
+// deviceSnapshot returns the post-boot snapshot for the given device
+// configuration, booting and snapshotting a template device on miss.
+func (c *snapshotCache) deviceSnapshot(cfg wearos.Config) (s *wearos.Snapshot, hit bool, err error) {
+	c.mu.Lock()
+	if s = c.devs[cfg]; s != nil {
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	s, err = wearos.New(cfg).Snapshot()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	if len(c.devs) >= cacheLimit {
+		c.devs = nil
+	}
+	if c.devs == nil {
+		c.devs = make(map[wearos.Config]*wearos.Snapshot)
+	}
+	c.devs[cfg] = s
+	c.mu.Unlock()
+	return s, false, nil
+}
+
+// bootShard produces the per-shard (fleet, device) pair, via the snapshot
+// caches unless cfg disables them. The returned device has the shard's
+// package installed and its handlers registered, and nothing else — exactly
+// the state runShard previously reached by booting fresh. met records the
+// cache outcome and the clone latency (a hit requires both the fleet
+// template and the device snapshot to be cached).
+func bootShard(cfg Config, kind apps.FleetKind, pkgName string, met farmMetrics) (*apps.Fleet, *wearos.OS, error) {
+	if cfg.Sharding.DisableSnapshot {
+		fleet, err := apps.BuildFleetPackage(kind, cfg.Seed, pkgName)
+		if err != nil {
+			return nil, nil, err
+		}
+		dev := wearos.New(deviceConfig(kind))
+		if _, err := fleet.InstallPackageInto(dev, pkgName); err != nil {
+			return nil, nil, err
+		}
+		return fleet, dev, nil
+	}
+
+	start := time.Now()
+	tmpl, fleetHit, err := bootCache.fleetTemplate(kind, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, devHit, err := bootCache.deviceSnapshot(deviceConfig(kind))
+	if err != nil {
+		return nil, nil, err
+	}
+	fleet, err := tmpl.Instantiate(pkgName)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := snap.Clone()
+	if _, err := fleet.InstallPackageInto(dev, pkgName); err != nil {
+		return nil, nil, err
+	}
+	met.cloneSeconds.Observe(time.Since(start).Seconds())
+	if fleetHit && devHit {
+		met.snapHits.Inc()
+	} else {
+		met.snapMisses.Inc()
+	}
+	return fleet, dev, nil
+}

@@ -1,0 +1,177 @@
+package farm_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/telemetry"
+)
+
+// TestSnapshotMatchesFreshBootMerge is the tentpole's acceptance gate: the
+// snapshot-clone path must produce a byte-identical merged study for any
+// worker count, compared against the fresh-boot path. The fresh-boot serial
+// run is the reference; every other (mode, workers) combination must match.
+func TestSnapshotMatchesFreshBootMerge(t *testing.T) {
+	want := exportForCompare(t, runStudy(t, core.Sharding{Workers: 1, DisableSnapshot: true}))
+	for _, tc := range []struct {
+		name     string
+		sharding core.Sharding
+	}{
+		{"snapshot/workers=1", core.Sharding{Workers: 1}},
+		{"snapshot/workers=4", core.Sharding{Workers: 4}},
+		{"snapshot/workers=8", core.Sharding{Workers: 8}},
+		{"freshboot/workers=4", core.Sharding{Workers: 4, DisableSnapshot: true}},
+	} {
+		if got := exportForCompare(t, runStudy(t, tc.sharding)); got != want {
+			t.Errorf("%s export differs from fresh-boot serial run:\n--- fresh serial ---\n%s\n--- %s ---\n%s",
+				tc.name, want, tc.name, got)
+		}
+	}
+}
+
+// TestCheckpointCrossSnapshotModes pins that DisableSnapshot stays out of
+// the checkpoint fingerprint: a journal written by a fresh-boot run resumes
+// cleanly under the snapshot path (and vice versa) with identical output.
+func TestCheckpointCrossSnapshotModes(t *testing.T) {
+	dir := t.TempDir()
+	offJournal := filepath.Join(dir, "off.ckpt")
+	killed := filepath.Join(dir, "killed.ckpt")
+
+	uninterrupted := runStudy(t, core.Sharding{Workers: 2, Checkpoint: offJournal, DisableSnapshot: true})
+	want := exportForCompare(t, uninterrupted)
+
+	// Tear the fresh-boot journal after three shards (header + 3 records +
+	// a torn partial line), then resume it with snapshots enabled.
+	data, err := os.ReadFile(offJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	const keep = 3
+	if len(lines) < keep+2 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:1+keep], "\n") + "\n" + `{"index":5,"key":{"camp`
+	if err := os.WriteFile(killed, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true})
+	if got := exportForCompare(t, resumed); got != want {
+		t.Errorf("snapshot-mode resume of a fresh-boot journal differs:\n--- fresh-boot full ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+	if resumed.Sharding.Resumed != keep {
+		t.Fatalf("resumed = %d shards, want %d", resumed.Sharding.Resumed, keep)
+	}
+
+	// The opposite direction: the journal completed under snapshots replays
+	// fully under fresh boots.
+	replayed := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true, DisableSnapshot: true})
+	if got := exportForCompare(t, replayed); got != want {
+		t.Error("fresh-boot replay of a snapshot-completed journal differs")
+	}
+	if replayed.Sharding.Resumed != replayed.Sharding.Shards {
+		t.Fatalf("replay resumed %d of %d shards", replayed.Sharding.Resumed, replayed.Sharding.Shards)
+	}
+}
+
+// TestSnapshotTelemetry verifies the new farm metrics: every shard records
+// exactly one cache outcome, one clone latency, and one queue wait when
+// snapshots are on, and none of those when they are off. The boot cache is
+// process-global (earlier tests may have warmed it), so the hit/miss split
+// is not asserted — only the total.
+func TestSnapshotTelemetry(t *testing.T) {
+	run := func(disable bool) telemetry.Snapshot {
+		reg := telemetry.NewRegistry()
+		res, err := farm.Run(farm.Config{
+			Seed:      1,
+			Packages:  testPackages,
+			Gen:       testGen(),
+			Sharding:  core.Sharding{Workers: 4, DisableSnapshot: disable},
+			Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shards != 4*len(testPackages) {
+			t.Fatalf("shards = %d, want %d", res.Shards, 4*len(testPackages))
+		}
+		return reg.Snapshot()
+	}
+
+	snap := run(false)
+	shards := uint64(4 * len(testPackages))
+	hits := snap.Counters["farm_snapshot_hits_total"]
+	misses := snap.Counters["farm_snapshot_misses_total"]
+	if hits+misses != shards {
+		t.Fatalf("snapshot hits(%d)+misses(%d) = %d, want %d (one outcome per shard)",
+			hits, misses, hits+misses, shards)
+	}
+	if got := snap.Histograms["farm_clone_seconds"].Count; got != shards {
+		t.Fatalf("farm_clone_seconds count = %d, want %d", got, shards)
+	}
+	if got := snap.Histograms["farm_shard_queue_wait_seconds"].Count; got != shards {
+		t.Fatalf("farm_shard_queue_wait_seconds count = %d, want %d", got, shards)
+	}
+
+	off := run(true)
+	if n := off.Counters["farm_snapshot_hits_total"] + off.Counters["farm_snapshot_misses_total"]; n != 0 {
+		t.Fatalf("fresh-boot run recorded %d snapshot cache outcomes", n)
+	}
+	if got := off.Histograms["farm_clone_seconds"].Count; got != 0 {
+		t.Fatalf("fresh-boot run recorded %d clone latencies", got)
+	}
+}
+
+// TestRebootManifestsOnClonedShard is the BootCount regression test for the
+// FIC reboot-manifestation path: the full-scale campaign A run against
+// com.motorola.omni drives the paper's sensor-service escalation to a
+// device reboot. A cloned shard device must report the same reboot and the
+// same BootCount (template boot + its own reboot) as a fresh boot.
+func TestRebootManifestsOnClonedShard(t *testing.T) {
+	run := func(disable bool) *farm.Result {
+		res, err := farm.Run(farm.Config{
+			Seed:      1,
+			Packages:  []string{"com.motorola.omni"},
+			Campaigns: []core.Campaign{core.CampaignA},
+			// Zero Gen = full paper scale; the reboot needs the full action
+			// matrix to accumulate three sensor-listener ANRs.
+			Gen:      core.GeneratorConfig{},
+			Sharding: core.Sharding{Workers: 1, DisableSnapshot: disable},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	snapRes, freshRes := run(false), run(true)
+	for name, res := range map[string]*farm.Result{"snapshot": snapRes, "fresh-boot": freshRes} {
+		cr := res.Campaigns[0]
+		if len(cr.Report.RebootTimes) != 1 {
+			t.Fatalf("%s: reboots = %d, want 1 (sensor-service escalation)", name, len(cr.Report.RebootTimes))
+		}
+		sum := cr.Summaries[0]
+		if sum.Reboots != 1 {
+			t.Fatalf("%s: summary reboots = %d, want 1", name, sum.Reboots)
+		}
+		if sum.BootCount != 2 {
+			t.Fatalf("%s: shard BootCount = %d, want 2 (template boot + campaign reboot)", name, sum.BootCount)
+		}
+	}
+	if !reflect.DeepEqual(snapRes.Campaigns[0].Summaries, freshRes.Campaigns[0].Summaries) {
+		t.Errorf("shard summaries diverge:\nsnapshot:   %+v\nfresh-boot: %+v",
+			snapRes.Campaigns[0].Summaries, freshRes.Campaigns[0].Summaries)
+	}
+	snapJSON, _ := json.Marshal(snapRes.Campaigns[0].Report)
+	freshJSON, _ := json.Marshal(freshRes.Campaigns[0].Report)
+	if string(snapJSON) != string(freshJSON) {
+		t.Errorf("campaign reports diverge:\nsnapshot:   %s\nfresh-boot: %s", snapJSON, freshJSON)
+	}
+}

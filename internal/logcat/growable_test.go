@@ -1,0 +1,83 @@
+package logcat
+
+import (
+	"testing"
+)
+
+// TestGrowableBufferMatchesFixed drives a fixed and a growable ring of the
+// same retention capacity through an identical append stream across every
+// interesting boundary (initial backing, each growth step, full, evicting)
+// and asserts identical observable state.
+func TestGrowableBufferMatchesFixed(t *testing.T) {
+	const capacity = growInitialCapacity * growFactor * 2
+	fixed := NewBuffer(capacity)
+	grow := NewGrowableBuffer(capacity)
+	for i := 0; i < capacity*2+7; i++ {
+		e := Entry{PID: i}
+		fixed.Append(e)
+		grow.Append(e)
+		if fixed.Len() != grow.Len() {
+			t.Fatalf("after %d appends: Len fixed=%d growable=%d", i+1, fixed.Len(), grow.Len())
+		}
+	}
+	if f, g := fixed.Dropped(), grow.Dropped(); f != g {
+		t.Fatalf("Dropped fixed=%d growable=%d", f, g)
+	}
+	fs, gs := fixed.Snapshot(), grow.Snapshot()
+	if len(fs) != len(gs) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(fs), len(gs))
+	}
+	for i := range fs {
+		if fs[i].PID != gs[i].PID {
+			t.Fatalf("snapshot[%d]: fixed PID %d, growable PID %d", i, fs[i].PID, gs[i].PID)
+		}
+	}
+}
+
+// TestGrowableBufferStartsSmall pins the lazy-allocation property the farm's
+// clone path depends on: a fresh growable ring must not carry the full
+// retention capacity's backing array.
+func TestGrowableBufferStartsSmall(t *testing.T) {
+	b := NewGrowableBuffer(DefaultCapacity)
+	if len(b.entries) != growInitialCapacity {
+		t.Fatalf("initial backing = %d entries, want %d", len(b.entries), growInitialCapacity)
+	}
+	if b.maxCap != DefaultCapacity {
+		t.Fatalf("maxCap = %d, want %d", b.maxCap, DefaultCapacity)
+	}
+	// A capacity below the initial backing clamps rather than over-allocating.
+	small := NewGrowableBuffer(8)
+	for i := 0; i < 20; i++ {
+		small.Append(Entry{PID: i})
+	}
+	if small.Len() != 8 || small.Dropped() != 12 {
+		t.Fatalf("small ring Len=%d Dropped=%d, want 8/12", small.Len(), small.Dropped())
+	}
+}
+
+// TestRestoreSeedsWithoutFanout verifies Restore replays a baseline into
+// the ring without invoking sinks or counting new appends beyond the
+// restored total.
+func TestRestoreSeedsWithoutFanout(t *testing.T) {
+	baseline := []Entry{{PID: 1}, {PID: 2}, {PID: 3}}
+	b := NewGrowableBuffer(16)
+	b.Restore(baseline)
+	var seen int
+	b.Subscribe(SinkFunc(func(Entry) { seen++ }))
+	if seen != 0 {
+		t.Fatalf("Restore fanned out %d entries to sinks", seen)
+	}
+	b.Append(Entry{PID: 4})
+	if seen != 1 {
+		t.Fatalf("post-restore append fanout = %d, want 1", seen)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Len after restore+append = %d, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.PID != i+1 {
+			t.Fatalf("snapshot = %v", snap)
+		}
+	}
+}

@@ -271,6 +271,9 @@ func (f SinkFunc) Consume(e Entry) { f(e) }
 type Buffer struct {
 	mu      sync.Mutex
 	entries []Entry
+	// maxCap is the retention capacity of a lazily allocated ring (see
+	// NewGrowableBuffer); zero means the backing is fixed at len(entries).
+	maxCap  int
 	start   int // index of oldest entry
 	count   int
 	dropped uint64
@@ -300,6 +303,63 @@ func NewBuffer(capacity int) *Buffer {
 		capacity = DefaultCapacity
 	}
 	return &Buffer{entries: make([]Entry, capacity)}
+}
+
+// Growable-ring geometry: cloned devices start with a small backing array
+// and grow geometrically up to the retention capacity, so shards that log a
+// few hundred lines never pay for (or zero) the full 2^16-entry ring that a
+// fresh boot allocates eagerly.
+const (
+	growInitialCapacity = 256
+	growFactor          = 4
+)
+
+// NewGrowableBuffer returns a ring buffer that retains up to capacity
+// entries (DefaultCapacity when capacity <= 0) but allocates its backing
+// array lazily, starting at growInitialCapacity. Retention semantics are
+// identical to NewBuffer: eviction of the oldest entry begins only once
+// capacity entries are held.
+func NewGrowableBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	initial := growInitialCapacity
+	if initial > capacity {
+		initial = capacity
+	}
+	return &Buffer{entries: make([]Entry, initial), maxCap: capacity}
+}
+
+// Restore seeds the buffer with entries (oldest first) without fanning them
+// out to sinks and without telemetry flushes — they were already observed
+// and counted on the device the snapshot was taken from. Callers use it to
+// replay a boot-time baseline into a fresh (typically growable) buffer
+// before any sinks subscribe.
+func (b *Buffer) Restore(entries []Entry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range entries {
+		b.push(entries[i])
+	}
+	b.total += uint64(len(entries))
+}
+
+// grow enlarges a growable ring's backing array by growFactor (capped at
+// maxCap), linearizing retained entries to the front; the caller holds b.mu.
+func (b *Buffer) grow() {
+	newCap := len(b.entries) * growFactor
+	if newCap > b.maxCap {
+		newCap = b.maxCap
+	}
+	fresh := make([]Entry, newCap)
+	head := b.start + b.count
+	if head > len(b.entries) {
+		head = len(b.entries)
+	}
+	n := copy(fresh, b.entries[b.start:head])
+	copy(fresh[n:], b.entries[:b.count-n])
+	b.entries = fresh
+	b.start = 0
 }
 
 // Subscribe registers a sink that observes every subsequent Append. Sinks
@@ -367,6 +427,10 @@ const droppedGaugeEvery = 1024
 // push evicted the first-ever entry (the OnFirstDrop trigger).
 func (b *Buffer) push(e Entry) bool {
 	capN := len(b.entries)
+	if b.count == capN && capN < b.maxCap {
+		b.grow()
+		capN = len(b.entries)
+	}
 	if b.count == capN {
 		b.entries[b.start] = e
 		if b.start++; b.start == capN {

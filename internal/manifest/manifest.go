@@ -291,8 +291,15 @@ func (r *Registry) Install(pkg *Package) error {
 	r.packages[pkg.Name] = pkg
 	for _, c := range pkg.Components {
 		r.byName[c.Name] = c
-		c.flat = c.Name.FlattenToString()
-		c.bindEndpoint = "svc:" + c.flat
+		// The interned strings are write-once: packages structurally shared
+		// across device clones are installed concurrently, and rewriting an
+		// already-cached value would race with readers on sibling devices.
+		if c.flat == "" {
+			c.flat = c.Name.FlattenToString()
+		}
+		if c.bindEndpoint == "" {
+			c.bindEndpoint = "svc:" + c.flat
+		}
 	}
 	return nil
 }

@@ -294,8 +294,17 @@ func newOSMetrics(reg *telemetry.Registry) osMetrics {
 
 // New boots a simulated device with the given configuration.
 func New(cfg Config) *OS {
-	clock := vclock.NewVirtual(time.Time{})
-	buf := logcat.NewBuffer(cfg.LogCapacity)
+	o := newKernel(cfg, vclock.NewVirtual(time.Time{}), logcat.NewBuffer(cfg.LogCapacity))
+	o.logBootSequence()
+	return o
+}
+
+// newKernel wires up every OS subsystem around the provided clock and log
+// buffer without logging the boot sequence. New composes it with a fresh
+// clock and an eagerly allocated ring; Snapshot.Clone composes it with the
+// template's frozen clock time and a lazily grown ring pre-seeded with the
+// boot baseline.
+func newKernel(cfg Config, clock *vclock.Virtual, buf *logcat.Buffer) *OS {
 	log := logcat.NewLogger(buf, clock.Now)
 	if cfg.ANRThreshold <= 0 {
 		cfg.ANRThreshold = 5 * time.Second
@@ -348,7 +357,6 @@ func New(cfg Config) *OS {
 			"wearos: logcat ring full (capacity %d): oldest lines are being dropped and stay invisible to the analyzer\n",
 			capacity)
 	})
-	o.logBootSequence()
 	return o
 }
 

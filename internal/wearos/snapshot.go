@@ -1,0 +1,210 @@
+package wearos
+
+// Forkserver-style device snapshots. Booting a simulated device is the
+// fixed cost every farm shard pays before injecting a single intent — the
+// same way emulator restarts dominate Android test-generation throughput —
+// so, like AFL's forkserver, the farm boots a template device once, freezes
+// its post-boot state into an immutable Snapshot, and stamps out per-shard
+// devices with Clone instead of re-running boot.
+//
+// Determinism contract: a clone is observably identical to a device freshly
+// booted with the same Config. Its logcat dump, boot count, clock, PID
+// allocation, aging state, and dispatch behaviour are byte-for-byte the
+// same, so a farm merge built from clones is byte-identical to one built
+// from fresh boots. Tests pin this (TestCloneMatchesFreshBoot and the
+// farm's snapshot-vs-fresh merge equivalence test).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/intent"
+	"repro/internal/logcat"
+	"repro/internal/manifest"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// agingState is the system server's captured accumulation state.
+type agingState struct {
+	instability   float64
+	lastDecay     time.Time
+	anrByProcess  map[string]int
+	startFailures map[intent.ComponentName]int
+	lastCrashAt   map[string]time.Time
+	lastANRAt     map[string]time.Time
+	rebootPending bool
+	rejuvenations int
+	timeline      []InstabilitySample
+}
+
+// Snapshot is an immutable capture of a booted device. It structurally
+// shares the installed packages (manifest.Package values are treated as
+// read-only after template installation; interned component strings are
+// write-once) and deep-copies everything mutable: the logcat baseline, the
+// aging maps, dropbox records, and the handler/trait tables.
+//
+// Handlers registered before the snapshot are shared by reference across
+// clones; they must not close over per-device mutable state. The farm
+// avoids the question entirely by snapshotting bare devices and installing
+// the shard's package (with fresh handlers) into each clone.
+type Snapshot struct {
+	cfg Config
+	now time.Time
+
+	bootCount   int
+	bootTime    time.Time
+	rebootLog   []time.Time
+	dispatchSeq uint64
+
+	baseline []logcat.Entry
+	packages []*manifest.Package // install order
+	perms    []string
+
+	handlers     map[intent.ComponentName]Handler
+	traits       map[intent.ComponentName]ComponentTraits
+	bindHandlers map[intent.ComponentName]BindHandler
+	gateMsgs     map[gateKey]string
+
+	nextPID   int
+	sensorPID int
+
+	dropbox []DropBoxEntry
+	aging   agingState
+}
+
+// Snapshot captures the device's current state for cloning. The device must
+// be quiescent — the state a device is in right after boot: no app
+// processes, no published binder endpoints (their handlers are closures
+// over this OS), the sensor service running, and no pending clock timers.
+// A non-quiescent device returns an error; snapshotting mid-campaign is not
+// a supported operation.
+func (o *OS) Snapshot() (*Snapshot, error) {
+	if n := len(o.procs.byName); n != 0 {
+		return nil, fmt.Errorf("wearos: snapshot of non-quiescent device: %d app processes", n)
+	}
+	if n := o.router.Endpoints(); n != 0 {
+		return nil, fmt.Errorf("wearos: snapshot of non-quiescent device: %d binder endpoints", n)
+	}
+	if st := o.sensor.State(); st != sensors.ServiceRunning {
+		return nil, fmt.Errorf("wearos: snapshot of non-quiescent device: sensor service %v", st)
+	}
+	if n := o.clock.Pending(); n != 0 {
+		return nil, fmt.Errorf("wearos: snapshot of non-quiescent device: %d pending timers", n)
+	}
+
+	s := &Snapshot{
+		cfg:          o.cfg,
+		now:          o.clock.Now(),
+		bootCount:    o.bootCount,
+		bootTime:     o.bootTime,
+		rebootLog:    append([]time.Time(nil), o.rebootLog...),
+		dispatchSeq:  o.dispatchSeq,
+		baseline:     o.buf.Snapshot(),
+		packages:     o.reg.Packages(),
+		perms:        o.perms.List(),
+		handlers:     make(map[intent.ComponentName]Handler, len(o.handlers)),
+		traits:       make(map[intent.ComponentName]ComponentTraits, len(o.traits)),
+		bindHandlers: make(map[intent.ComponentName]BindHandler, len(o.bindHandlers)),
+		gateMsgs:     make(map[gateKey]string, len(o.gateMsgs)),
+		nextPID:      o.procs.nextPID,
+		sensorPID:    o.sensor.PID(),
+		dropbox:      append([]DropBoxEntry(nil), o.dropbox.entries...),
+		aging: agingState{
+			instability:   o.sysSrv.instability,
+			lastDecay:     o.sysSrv.lastDecay,
+			anrByProcess:  copyMap(o.sysSrv.anrByProcess),
+			startFailures: copyMap(o.sysSrv.startFailures),
+			lastCrashAt:   copyMap(o.sysSrv.lastCrashAt),
+			lastANRAt:     copyMap(o.sysSrv.lastANRAt),
+			rebootPending: o.sysSrv.rebootPending,
+			rejuvenations: o.sysSrv.rejuvenations,
+			timeline:      append([]InstabilitySample(nil), o.sysSrv.timeline...),
+		},
+	}
+	for k, v := range o.handlers {
+		s.handlers[k] = v
+	}
+	for k, v := range o.traits {
+		s.traits[k] = v
+	}
+	for k, v := range o.bindHandlers {
+		s.bindHandlers[k] = v
+	}
+	for k, v := range o.gateMsgs {
+		s.gateMsgs[k] = v
+	}
+	return s, nil
+}
+
+// Clone stamps out a fresh device from the snapshot without re-running
+// boot. The clone shares the snapshot's package structures and gets its own
+// copies of every mutable piece: clock, logcat ring (lazily grown, seeded
+// with the boot baseline), process table, aging state, dropbox, and
+// telemetry registry. Clones are fully independent of the snapshot and of
+// each other. Safe to call concurrently.
+func (s *Snapshot) Clone() *OS {
+	clock := vclock.NewVirtual(s.now)
+	buf := logcat.NewGrowableBuffer(s.cfg.LogCapacity)
+	buf.Restore(s.baseline)
+	o := newKernel(s.cfg, clock, buf)
+
+	// Align identity allocation with the template: the kernel consumed one
+	// PID for the sensor service from a fresh table; rewind to the
+	// template's allocator state and sensor PID so post-clone PID sequences
+	// match a fresh boot exactly.
+	o.sensor.Restart(s.sensorPID)
+	o.procs.nextPID = s.nextPID
+
+	for _, pkg := range s.packages {
+		// Install silently: the template's install log lines are already in
+		// the restored baseline. The packages were validated when the
+		// template installed them, so an error here is a programming bug.
+		if err := o.reg.Install(pkg); err != nil {
+			panic("wearos: clone re-install: " + err.Error())
+		}
+	}
+	for _, p := range s.perms {
+		o.perms.Register(p)
+	}
+	for k, v := range s.handlers {
+		o.handlers[k] = v
+	}
+	for k, v := range s.traits {
+		o.traits[k] = v
+	}
+	for k, v := range s.bindHandlers {
+		o.bindHandlers[k] = v
+	}
+	for k, v := range s.gateMsgs {
+		o.gateMsgs[k] = v
+	}
+
+	o.bootCount = s.bootCount
+	o.bootTime = s.bootTime
+	o.rebootLog = append([]time.Time(nil), s.rebootLog...)
+	o.dispatchSeq = s.dispatchSeq
+	o.dropbox.entries = append([]DropBoxEntry(nil), s.dropbox...)
+
+	o.sysSrv.instability = s.aging.instability
+	o.sysSrv.lastDecay = s.aging.lastDecay
+	o.sysSrv.anrByProcess = copyMap(s.aging.anrByProcess)
+	o.sysSrv.startFailures = copyMap(s.aging.startFailures)
+	o.sysSrv.lastCrashAt = copyMap(s.aging.lastCrashAt)
+	o.sysSrv.lastANRAt = copyMap(s.aging.lastANRAt)
+	o.sysSrv.rebootPending = s.aging.rebootPending
+	o.sysSrv.rejuvenations = s.aging.rejuvenations
+	o.sysSrv.timeline = append([]InstabilitySample(nil), s.aging.timeline...)
+
+	o.osm.bootCount.Set(float64(o.bootCount))
+	return o
+}
+
+// copyMap returns a shallow copy of m.
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

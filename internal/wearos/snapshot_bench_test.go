@@ -1,0 +1,38 @@
+package wearos
+
+import "testing"
+
+// The shard-boot microbenchmark pair isolates the device-level half of the
+// farm's snapshot win: a full boot sequence (process tables, sensor
+// service, system server, boot logcat) versus stamping a clone out of a
+// post-boot snapshot. Telemetry is disabled to match the farm's per-shard
+// device configuration.
+func benchConfig() Config {
+	cfg := DefaultWatchConfig()
+	cfg.DisableTelemetry = true
+	return cfg
+}
+
+func BenchmarkShardBootFresh(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if New(cfg) == nil {
+			b.Fatal("boot failed")
+		}
+	}
+}
+
+func BenchmarkShardBootClone(b *testing.B) {
+	snap, err := New(benchConfig()).Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap.Clone() == nil {
+			b.Fatal("clone failed")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package wearos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+	"repro/internal/manifest"
+)
+
+// snapTestPackage returns a fresh package value for install into one device;
+// each call builds its own components so no state is shared between the
+// devices a test compares.
+func snapTestPackage() *manifest.Package {
+	return &manifest.Package{
+		Name:     "com.test.app",
+		Label:    "Test App",
+		Category: manifest.NotHealthFitness,
+		Origin:   manifest.ThirdParty,
+		Components: []*manifest.Component{
+			{Name: cn("com.test.app", "MainActivity"), Type: manifest.Activity, Exported: true, MainLauncher: true},
+			{Name: cn("com.test.app", "Worker"), Type: manifest.Service, Exported: true},
+		},
+	}
+}
+
+// driveWorkload sends the same mixed intent sequence to a device: clean
+// deliveries, a crash, an ANR, and a security denial — every settle path
+// that writes logcat, dropbox, process table, and aging state.
+func driveWorkload(t *testing.T, o *OS) {
+	t.Helper()
+	if err := o.InstallPackage(snapTestPackage()); err != nil {
+		t.Fatal(err)
+	}
+	main := cn("com.test.app", "MainActivity")
+	worker := cn("com.test.app", "Worker")
+	o.RegisterHandler(main, func(env *Env, in *intent.Intent) Outcome {
+		switch in.Action {
+		case "android.intent.action.EDIT":
+			return Outcome{Thrown: javalang.New(javalang.ClassNullPointer, "null object reference")}
+		case "android.intent.action.SEARCH":
+			return Outcome{BusyFor: 6 * time.Second}
+		}
+		return Outcome{}
+	}, ComponentTraits{})
+	for _, action := range []string{
+		"android.intent.action.VIEW",
+		"android.intent.action.EDIT",
+		"android.intent.action.SEARCH",
+		"android.intent.action.VIEW",
+	} {
+		o.StartActivity(explicit(main, action))
+	}
+	o.StartService(explicit(worker, ""))
+	// A denial exercises the cached gate-message path.
+	o.StartActivity(explicit(cn("com.test.app", "Missing"), "android.intent.action.VIEW"))
+}
+
+// TestCloneMatchesFreshBoot is the determinism contract: a clone driven
+// through a workload produces a byte-identical logcat dump — and identical
+// derived state — to a freshly booted device driven identically.
+func TestCloneMatchesFreshBoot(t *testing.T) {
+	fresh := New(DefaultWatchConfig())
+
+	snap, err := New(DefaultWatchConfig()).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := snap.Clone()
+
+	driveWorkload(t, fresh)
+	driveWorkload(t, clone)
+
+	if f, c := fresh.Logcat().Dump(), clone.Logcat().Dump(); f != c {
+		t.Fatalf("logcat dumps diverge:\n--- fresh ---\n%s\n--- clone ---\n%s", f, c)
+	}
+	if f, c := fresh.BootCount(), clone.BootCount(); f != c {
+		t.Fatalf("BootCount fresh=%d clone=%d", f, c)
+	}
+	if f, c := fresh.Uptime(), clone.Uptime(); f != c {
+		t.Fatalf("Uptime fresh=%v clone=%v", f, c)
+	}
+	if f, c := fresh.LiveProcesses(), clone.LiveProcesses(); f != c {
+		t.Fatalf("LiveProcesses fresh=%d clone=%d", f, c)
+	}
+	if f, c := fresh.SystemServer().Instability(), clone.SystemServer().Instability(); f != c {
+		t.Fatalf("Instability fresh=%v clone=%v", f, c)
+	}
+	if f, c := len(fresh.DropBoxEntries("")), len(clone.DropBoxEntries("")); f != c {
+		t.Fatalf("dropbox entries fresh=%d clone=%d", f, c)
+	}
+	// Process identity must match too: PID allocation on the clone continued
+	// from the template's allocator state.
+	fp, cp := fresh.Process("com.test.app"), clone.Process("com.test.app")
+	if fp == nil || cp == nil || fp.PID != cp.PID || fp.UID != cp.UID {
+		t.Fatalf("process identity fresh=%+v clone=%+v", fp, cp)
+	}
+}
+
+// TestCloneIsolation verifies that mutating one clone leaks into neither
+// the template device nor a sibling clone.
+func TestCloneIsolation(t *testing.T) {
+	template := New(DefaultWatchConfig())
+	snap, err := template.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineDump := template.Logcat().Dump()
+
+	noisy := snap.Clone()
+	quiet := snap.Clone()
+	driveWorkload(t, noisy)
+
+	if got := template.Logcat().Dump(); got != baselineDump {
+		t.Fatal("mutating a clone changed the template's logcat")
+	}
+	if template.LiveProcesses() != 0 || len(template.DropBoxEntries("")) != 0 {
+		t.Fatal("mutating a clone changed the template's process/dropbox state")
+	}
+	if got := quiet.Logcat().Dump(); got != baselineDump {
+		t.Fatal("mutating a clone changed a sibling clone's logcat")
+	}
+	if quiet.SystemServer().Instability() != 0 {
+		t.Fatal("mutating a clone aged a sibling clone")
+	}
+	// The sibling stays fully usable and independent afterwards.
+	driveWorkload(t, quiet)
+	if quiet.Logcat().Dump() != noisy.Logcat().Dump() {
+		t.Fatal("identically driven siblings diverged")
+	}
+}
+
+// TestCloneBootCountAfterReboot pins the BootCount accounting satellite: a
+// cloned device reports the template's boot plus its own simulated reboots,
+// while the template and sibling clones stay at the template's count.
+func TestCloneBootCountAfterReboot(t *testing.T) {
+	template := New(DefaultWatchConfig())
+	snap, err := template.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := snap.Clone()
+	if clone.BootCount() != 1 {
+		t.Fatalf("clone BootCount = %d, want 1 (the template's boot)", clone.BootCount())
+	}
+
+	// Drive the core-service escalation (the paper's reboot mechanism): a
+	// core service death pushes instability past the threshold and the next
+	// MaybeReboot tears the device down.
+	clone.SystemServer().RecordCoreServiceDown("sensorservice", javalang.SIGABRT)
+	if !clone.SystemServer().MaybeReboot() {
+		t.Fatal("core service death did not trigger a reboot")
+	}
+	if clone.BootCount() != 2 {
+		t.Fatalf("clone BootCount after reboot = %d, want 2", clone.BootCount())
+	}
+	if len(clone.RebootTimes()) != 1 {
+		t.Fatalf("clone RebootTimes = %v, want one entry", clone.RebootTimes())
+	}
+	if !strings.Contains(clone.Logcat().Dump(), "boot #2") {
+		t.Fatal("clone's second boot banner missing from logcat")
+	}
+	if template.BootCount() != 1 {
+		t.Fatalf("template BootCount = %d after clone reboot, want 1", template.BootCount())
+	}
+	if sibling := snap.Clone(); sibling.BootCount() != 1 {
+		t.Fatalf("sibling BootCount = %d, want 1", sibling.BootCount())
+	}
+
+	// A fresh device pushed through the same reboot reports the same count
+	// and the same log — reboot accounting under cloning is indistinguishable
+	// from fresh-boot accounting.
+	fresh := New(DefaultWatchConfig())
+	fresh.SystemServer().RecordCoreServiceDown("sensorservice", javalang.SIGABRT)
+	if !fresh.SystemServer().MaybeReboot() {
+		t.Fatal("fresh device did not reboot")
+	}
+	if fresh.BootCount() != clone.BootCount() {
+		t.Fatalf("BootCount fresh=%d clone=%d", fresh.BootCount(), clone.BootCount())
+	}
+	if fresh.Logcat().Dump() != clone.Logcat().Dump() {
+		t.Fatal("reboot logs diverge between fresh device and clone")
+	}
+}
+
+// TestSnapshotRefusesNonQuiescent pins the invalidation rule: snapshots are
+// only taken right after boot, never mid-campaign.
+func TestSnapshotRefusesNonQuiescent(t *testing.T) {
+	o := testDevice(t)
+	if _, err := o.Snapshot(); err != nil {
+		t.Fatalf("installed-but-idle device should snapshot, got %v", err)
+	}
+
+	o.StartActivity(explicit(cn("com.test.app", "MainActivity"), "android.intent.action.VIEW"))
+	if _, err := o.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with a live app process")
+	}
+
+	bound := testDevice(t)
+	if _, thr := bound.BindService(explicit(cn("com.test.app", "Worker"), "")); thr != nil {
+		t.Fatalf("bind failed: %v", thr)
+	}
+	if _, err := bound.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with a published binder endpoint")
+	}
+
+	aborted := New(DefaultWatchConfig())
+	aborted.SensorService().Abort(javalang.SIGABRT)
+	if _, err := aborted.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with the sensor service down")
+	}
+}
+
+// TestSnapshotCarriesInstalledPackages covers the wearos-level contract the
+// farm does not use: snapshotting after installs shares the packages and
+// handler tables with every clone.
+func TestSnapshotCarriesInstalledPackages(t *testing.T) {
+	template := New(DefaultWatchConfig())
+	if err := template.InstallPackage(snapTestPackage()); err != nil {
+		t.Fatal(err)
+	}
+	template.RegisterHandler(cn("com.test.app", "MainActivity"),
+		func(env *Env, in *intent.Intent) Outcome { return Outcome{} }, ComponentTraits{})
+	snap, err := template.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := snap.Clone()
+	if clone.Registry().Package("com.test.app") == nil {
+		t.Fatal("installed package missing from clone registry")
+	}
+	if got := clone.StartActivity(explicit(cn("com.test.app", "MainActivity"), "android.intent.action.VIEW")); got != DeliveredNoEffect {
+		t.Fatalf("delivery on clone = %v", got)
+	}
+	if clone.Logcat().Dump() == template.Logcat().Dump() {
+		t.Fatal("clone delivery did not extend its own log")
+	}
+}

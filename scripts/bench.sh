@@ -1,20 +1,23 @@
 #!/bin/sh
-# Benchmark-regression gate for the injection hot path.
+# Benchmark-regression gate for the injection hot path and the snapshot
+# farm.
 #
-# Runs the hot-path benchmark suite, emits BENCH_4.json (machine-readable
-# current numbers next to the frozen pre-optimization baseline), and fails
-# if any gated benchmark regresses past its ceiling. The ceilings are set
-# from the perf pass that introduced this gate, with ~40% headroom for
+# Runs the hot-path benchmark suite plus the farm snapshot/fresh-boot pair
+# and the device shard-boot microbenchmarks, emits BENCH_5.json
+# (machine-readable current numbers next to the frozen pre-optimization
+# baselines), and fails if any gated benchmark regresses past its ceiling
+# or the farm's snapshot speedup drops under its 2x floor. The ceilings are
+# set from the perf passes that introduced them, with ~40-70% headroom for
 # machine-to-machine variance; they exist to catch order-of-magnitude
-# regressions (a reintroduced per-intent allocation, an unbatched counter),
-# not single-digit drift.
+# regressions (a reintroduced per-intent allocation, an unbatched counter,
+# an eagerly allocated clone ring), not single-digit drift.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 raw="$(mktemp -t qgj-bench-XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -24,6 +27,13 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' \
     -bench 'DispatchNoEffect|DispatchNoTelemetry|CampaignInstrumented|CampaignNoTelemetry|TableI_CampaignGeneration|IntentString|LogcatAppend|LogcatFormatParse' \
     -benchmem -benchtime=1s -count=3 . | tee "$raw"
+
+# The farm pair feeds the snapshot speedup floor; the shard-boot pair
+# isolates the device-level clone cost.
+go test -run '^$' -bench 'Farm8Snapshot|Farm8FreshBoot' \
+    -benchmem -benchtime=1s -count=3 ./internal/farm | tee -a "$raw"
+go test -run '^$' -bench 'ShardBootFresh|ShardBootClone' \
+    -benchmem -benchtime=1s -count=3 ./internal/wearos | tee -a "$raw"
 
 go run ./scripts/benchgate -input "$raw" -output "$out"
 echo "wrote $out"

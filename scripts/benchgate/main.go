@@ -1,7 +1,8 @@
 // Command benchgate parses `go test -bench` output, compares the hot-path
 // benchmarks against the frozen pre-optimization baseline and the
-// regression ceilings, writes the machine-readable BENCH_4.json artifact,
-// and exits non-zero if any gated number is over its ceiling.
+// regression ceilings, writes the machine-readable BENCH_5.json artifact,
+// and exits non-zero if any gated number is over its ceiling or the farm's
+// snapshot speedup drops under its floor.
 //
 // When -count>1 was used, the minimum per benchmark is kept: minima are the
 // robust location estimator under scheduler and frequency noise, which on a
@@ -50,6 +51,14 @@ var gates = map[string]*result{
 	"BenchmarkIntentString":              {BaselineNs: 534, BaselineAllocs: 9, CeilingNs: 400, CeilingAllocs: 2},
 	"BenchmarkLogcatAppend":              {BaselineNs: 23.85, CeilingNs: 90},
 	"BenchmarkLogcatFormatParse":         {BaselineNs: 2419, CeilingNs: 3400},
+
+	// Snapshot-farm gates (PR 5). Baselines are the fresh-boot-per-shard
+	// numbers measured immediately before the snapshot/clone path landed;
+	// ceilings carry ~70% headroom over the optimized numbers.
+	"BenchmarkFarm8Snapshot":  {BaselineNs: 1.551e8, BaselineAllocs: 171484, CeilingNs: 8.0e7, CeilingAllocs: 140000},
+	"BenchmarkFarm8FreshBoot": {BaselineNs: 1.551e8, BaselineAllocs: 171484, CeilingNs: 2.6e8, CeilingAllocs: 260000},
+	"BenchmarkShardBootFresh": {BaselineNs: 2.38e6, CeilingNs: 4.5e6, CeilingAllocs: 100},
+	"BenchmarkShardBootClone": {BaselineNs: 2.38e6, BaselineAllocs: 46, CeilingNs: 6.0e4, CeilingAllocs: 100},
 }
 
 // dispatchDeltaCeiling bounds DispatchNoEffect/DispatchNoTelemetry - 1.
@@ -58,6 +67,12 @@ var gates = map[string]*result{
 // a min-of-3 CI run cannot flake it while an unbatched counter (~8%+ per
 // atomic at current dispatch cost) still trips it.
 const dispatchDeltaCeiling = 0.08
+
+// farmSpeedupFloor is the snapshot tentpole's acceptance bar: the same
+// eight-worker farm run must be at least this many times faster cloning
+// shard devices from a snapshot than booting each fresh. Measured min-of-3
+// on the machine that set the ceilings: ~3.2x.
+const farmSpeedupFloor = 2.0
 
 type output struct {
 	GeneratedBy string             `json:"generated_by"`
@@ -69,13 +84,17 @@ type output struct {
 	// single-dispatch hot path.
 	DispatchTelemetryDelta        float64 `json:"dispatch_telemetry_delta"`
 	DispatchTelemetryDeltaCeiling float64 `json:"dispatch_telemetry_delta_ceiling"`
-	Pass                          bool    `json:"pass"`
-	Failures                      []string `json:"failures,omitempty"`
+	// FarmSnapshotSpeedup is FreshBoot ns/op over Snapshot ns/op for the
+	// eight-worker farm benchmark pair.
+	FarmSnapshotSpeedup      float64  `json:"farm_snapshot_speedup"`
+	FarmSnapshotSpeedupFloor float64  `json:"farm_snapshot_speedup_floor"`
+	Pass                     bool     `json:"pass"`
+	Failures                 []string `json:"failures,omitempty"`
 }
 
 func main() {
 	input := flag.String("input", "", "raw `go test -bench` output file")
-	outPath := flag.String("output", "BENCH_4.json", "JSON artifact path")
+	outPath := flag.String("output", "BENCH_5.json", "JSON artifact path")
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
@@ -95,6 +114,7 @@ func main() {
 		GOARCH:                        runtime.GOARCH,
 		Benchmarks:                    map[string]*result{},
 		DispatchTelemetryDeltaCeiling: dispatchDeltaCeiling,
+		FarmSnapshotSpeedupFloor:      farmSpeedupFloor,
 		Pass:                          true,
 	}
 
@@ -127,6 +147,16 @@ func main() {
 		}
 	}
 
+	snapRun, okS := parsed["BenchmarkFarm8Snapshot"]
+	freshRun, okF := parsed["BenchmarkFarm8FreshBoot"]
+	if okS && okF && snapRun.NsPerOp > 0 {
+		out.FarmSnapshotSpeedup = round4(freshRun.NsPerOp / snapRun.NsPerOp)
+		if out.FarmSnapshotSpeedup < farmSpeedupFloor {
+			out.fail("farm snapshot speedup %.2fx below the %.1fx floor",
+				out.FarmSnapshotSpeedup, farmSpeedupFloor)
+		}
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -144,8 +174,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%\n",
-		len(out.Benchmarks), out.DispatchTelemetryDelta*100)
+	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%; farm snapshot speedup %.2fx\n",
+		len(out.Benchmarks), out.DispatchTelemetryDelta*100, out.FarmSnapshotSpeedup)
 }
 
 func (o *output) fail(format string, args ...any) {

@@ -25,12 +25,15 @@ go test -run '^$' -bench Dispatch -benchtime 100x .
 go test -race ./internal/farm/...
 
 # End-to-end sharded-campaign smoke: a reduced fleet slice through cmd/qgj
-# with workers + checkpoint, then a resume replaying the finished journal.
-# Asserts the farm CLI path (flags, journaling, resume, triage roll-up,
-# non-zero-injection gate) works outside the unit-test harness.
+# with workers + checkpoint, written with snapshots disabled, then killed
+# (journal truncated after two shard records) and resumed with snapshots
+# enabled. Asserts the farm CLI path (flags, journaling, cross-mode resume,
+# triage roll-up, non-zero-injection gate) works outside the unit-test
+# harness and that -snapshot stays out of the checkpoint fingerprint.
 ckpt="$(mktemp -t qgj-verify-XXXXXX.ckpt)"
 trap 'rm -f "$ckpt"' EXIT
 go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
-    -workers 4 -checkpoint "$ckpt" >/dev/null
+    -workers 4 -checkpoint "$ckpt" -snapshot=off >/dev/null
+head -n 3 "$ckpt" > "$ckpt.torn" && mv "$ckpt.torn" "$ckpt"
 go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
-    -workers 4 -checkpoint "$ckpt" -resume >/dev/null
+    -workers 4 -checkpoint "$ckpt" -snapshot=on -resume >/dev/null
