@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/intent"
 	"repro/internal/manifest"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -61,6 +62,46 @@ func TestDispatchAllocFree(t *testing.T) {
 	// 2000-run batch; amortized that must stay under 0.1 allocs/op.
 	if allocs > 0.1 {
 		t.Fatalf("dispatch allocates %.3f objects/op, want ~0 (hot path regression)", allocs)
+	}
+}
+
+// TestDispatchRecorderAllocFree pins the same delivery path with the
+// flight recorder attached (the farm's triage configuration): the
+// per-dispatch event record is a slot write into a preallocated ring and
+// must not add a single steady-state allocation.
+func TestDispatchRecorderAllocFree(t *testing.T) {
+	dev := wearos.New(wearos.DefaultWatchConfig())
+	pkg := &manifest.Package{
+		Name: "com.bench", Category: manifest.NotHealthFitness, Origin: manifest.ThirdParty,
+		Components: []*manifest.Component{{
+			Name: intent.ComponentName{Package: "com.bench", Class: "com.bench.ui.Main"},
+			Type: manifest.Activity, Exported: true,
+		}},
+	}
+	if err := dev.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFlightRecorder(telemetry.NewRecorder(0))
+	in := &intent.Intent{
+		Action:    "android.intent.action.VIEW",
+		Component: pkg.Components[0].Name,
+		SenderUID: core.QGJUID,
+	}
+	var ok bool
+	in.Data, ok = intent.ParseURI("https://foo.com/")
+	if !ok {
+		t.Fatal("bad URI")
+	}
+	for i := 0; i < 64; i++ {
+		if res := dev.StartActivity(in); res != wearos.DeliveredNoEffect {
+			t.Fatalf("delivery = %v", res)
+		}
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		dev.StartActivity(in)
+	})
+	if allocs > 0.1 {
+		t.Fatalf("recorder-on dispatch allocates %.3f objects/op, want ~0 (flight recorder regression)", allocs)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/logcat"
 	"repro/internal/manifest"
 	"repro/internal/notify"
+	"repro/internal/telemetry"
 	"repro/internal/wearos"
 )
 
@@ -193,7 +194,18 @@ func BenchmarkDispatchNoTelemetry(b *testing.B) {
 	benchmarkDispatch(b, cfg)
 }
 
-func benchmarkDispatch(b *testing.B, cfg wearos.Config) {
+// BenchmarkDispatchRecorder is the default delivery with the flight
+// recorder attached — the farm's triage configuration. Comparing against
+// BenchmarkDispatchNoEffect bounds the recorder's overhead on the hot
+// path; the budget is <5% (docs/observability.md) and the path must stay
+// allocation-free.
+func BenchmarkDispatchRecorder(b *testing.B) {
+	benchmarkDispatch(b, wearos.DefaultWatchConfig(), func(dev *wearos.OS) {
+		dev.SetFlightRecorder(telemetry.NewRecorder(0))
+	})
+}
+
+func benchmarkDispatch(b *testing.B, cfg wearos.Config, setup ...func(*wearos.OS)) {
 	dev := wearos.New(cfg)
 	pkg := &manifest.Package{
 		Name: "com.bench", Category: manifest.NotHealthFitness, Origin: manifest.ThirdParty,
@@ -204,6 +216,9 @@ func benchmarkDispatch(b *testing.B, cfg wearos.Config) {
 	}
 	if err := dev.InstallPackage(pkg); err != nil {
 		b.Fatal(err)
+	}
+	for _, fn := range setup {
+		fn(dev)
 	}
 	in := &intent.Intent{
 		Action:    "android.intent.action.VIEW",

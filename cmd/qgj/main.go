@@ -204,12 +204,14 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 		Gen:       gen,
 		Sharding:  sharding,
 		Telemetry: telemetry.NewRegistry(),
+		Status:    farm.NewStatusBoard(),
 	}
 	if app != "" {
 		cfg.Packages = []string{app}
 	}
 	if metricsAddr != "" {
-		srv, err := telemetry.Serve(metricsAddr, cfg.Telemetry, nil)
+		srv, err := telemetry.Serve(metricsAddr, cfg.Telemetry, nil,
+			telemetry.Route{Pattern: "/farm", Handler: farm.StatusHandler(cfg.Status)})
 		if err != nil {
 			return err
 		}
@@ -254,7 +256,8 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 	}
 	fmt.Printf("farm: %d shards, %d workers, %d intents\n", res.Shards, res.Workers, res.Sent)
 	if res.Triage != nil {
-		fmt.Printf("triage: %d unique crash signatures (%d raw crashes)\n", res.Triage.Unique(), res.Triage.Crashes)
+		fmt.Printf("triage: %d unique failure signatures (%d raw crashes, %d ANRs)\n",
+			res.Triage.Unique(), res.Triage.Crashes-res.Triage.ANRs, res.Triage.ANRs)
 		for _, b := range res.Triage.Buckets {
 			min := ""
 			if b.Minimized != nil {
@@ -262,7 +265,11 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 			} else if b.Exemplar != nil && b.Exemplar.Intent != nil && !b.Reproduced {
 				min = " (not reproduced on fresh device)"
 			}
-			fmt.Printf("  %016x ×%-4d %s at %s%s\n", b.Hash, b.Count, b.Class, b.Frame, min)
+			flight := ""
+			if b.Exemplar != nil && len(b.Exemplar.Flight) > 0 {
+				flight = fmt.Sprintf(" flight=%d events (trace %s)", len(b.Exemplar.Flight), b.Exemplar.Trace)
+			}
+			fmt.Printf("  %016x ×%-4d %s at %s%s%s\n", b.Hash, b.Count, b.Class, b.Frame, min, flight)
 		}
 	}
 	if linger > 0 {

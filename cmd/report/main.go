@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 )
@@ -38,6 +39,8 @@ func run(args []string) error {
 	uiEvents := fs.Int("ui-events", 0, "QGJ-UI events per mode (0 = the paper's 41405)")
 	ablations := fs.Bool("ablations", false, "also run the extension studies (aging ablations, rejuvenation, validation eras)")
 	jsonOut := fs.String("json", "", "also write machine-readable artifacts to this file (wear+phone+ui exports)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /vars, /spans, /healthz and /farm on this address while the studies run (farm mode feeds them)")
+	linger := fs.Duration("linger", 0, "keep the process (and -metrics-addr endpoint) alive this long after the run")
 	progress := fs.Bool("progress", false, "print rate-limited study progress to stderr")
 	workers := fs.Int("workers", 0, "run the wear/phone studies on the farm engine with this many parallel devices (>1 enables sharding)")
 	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
@@ -62,6 +65,25 @@ func run(args []string) error {
 	progressCB := func(c core.Campaign, pkg string, sent int) {
 		prog.Tickf("report: %v campaign %s app %s sent=%d",
 			prog.Elapsed().Round(time.Millisecond), c.Letter(), pkg, sent)
+	}
+
+	// The live-observability surface: one registry and one shard status
+	// board shared by every farm-backed study in this invocation. Serial
+	// (unsharded) studies run their own per-device registries and leave
+	// these empty — the endpoints still answer, which is what a scrape
+	// harness wants.
+	var reg *telemetry.Registry
+	var board *farm.StatusBoard
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		board = farm.NewStatusBoard()
+		srv, err := telemetry.Serve(*metricsAddr, reg, nil,
+			telemetry.Route{Pattern: "/farm", Handler: farm.StatusHandler(board)})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "report: telemetry on http://%s/metrics\n", srv.Addr)
 	}
 
 	want := map[string]bool{}
@@ -89,7 +111,7 @@ func run(args []string) error {
 	if needWear {
 		start := time.Now()
 		var err error
-		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: sharding})
+		wear, err = experiments.RunWearStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: sharding, Telemetry: reg, Status: board})
 		// Flush the last rate-limited heartbeat so the final counts are not
 		// swallowed when the study ends between ticks.
 		prog.Flush()
@@ -99,8 +121,8 @@ func run(args []string) error {
 		fmt.Printf("[wear study: %d intents, %d reboots, %v]\n\n",
 			wear.Sent, wear.Reboots(), time.Since(start).Round(time.Millisecond))
 		if wear.Triage != nil {
-			fmt.Printf("[wear triage: %d unique crash signatures / %d raw crashes]\n\n",
-				wear.Triage.Unique(), wear.Triage.Crashes)
+			fmt.Printf("[wear triage: %d unique failure signatures / %d raw crashes / %d ANRs]\n\n",
+				wear.Triage.Unique(), wear.Triage.Crashes-wear.Triage.ANRs, wear.Triage.ANRs)
 		}
 	}
 	if sel("tab2") {
@@ -129,7 +151,7 @@ func run(args []string) error {
 		phoneSharding := sharding
 		phoneSharding.Checkpoint = ""
 		phoneSharding.Resume = false
-		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: phoneSharding})
+		phone, err := experiments.RunPhoneStudy(experiments.Options{Seed: *seed, Gen: gen, Progress: progressCB, Sharding: phoneSharding, Telemetry: reg, Status: board})
 		prog.Flush()
 		if err != nil {
 			return fmt.Errorf("phone study: %w", err)
@@ -161,6 +183,10 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("[machine-readable artifacts written to %s]\n", *jsonOut)
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "report: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -39,6 +39,9 @@ type Router struct {
 	txOK      *telemetry.Counter
 	txDead    *telemetry.Counter
 	txLatency *telemetry.Histogram
+	// rec receives a structured event per dead-object transaction — the
+	// binder leg of the flight-recorder trail (nil = no-op).
+	rec *telemetry.Recorder
 }
 
 // NewRouter returns an empty router.
@@ -112,6 +115,16 @@ func (r *Router) SetTelemetry(reg *telemetry.Registry) {
 	r.txLatency = reg.Histogram("binder_transact_seconds", telemetry.DefLatencyBuckets)
 }
 
+// SetFlightRecorder attaches the device flight recorder; dead-object
+// transaction failures record an event into it. The recorder itself is
+// single-threaded like the device, so the router only ever touches it from
+// the simulation goroutine.
+func (r *Router) SetFlightRecorder(rec *telemetry.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec = rec
+}
+
 // Transact delivers a synchronous transaction to the named endpoint.
 // Transactions against unknown endpoints or dead owners fail with
 // DeadObjectException, exactly the error apps observe when a remote process
@@ -128,6 +141,7 @@ func (r *Router) Transact(name string, code int, data any) (any, *javalang.Throw
 	r.mu.Unlock()
 	if !ok || !ownerAlive {
 		r.txDead.Inc()
+		r.rec.RecordNow(telemetry.EventBinder, name, "", "dead-object")
 		return nil, javalang.Newf(javalang.ClassDeadObject,
 			"Transaction failed on small parcel; remote process %q probably died", name)
 	}

@@ -154,7 +154,17 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 	}
 	sp := inj.Dev.Tracer().Start("fuzz:" + c.Letter() + ":" + comp.Flat())
 
+	// The flight recorder sees every generated intent before it is sent;
+	// comp.Flat() is cached on the component, so the per-intent record is a
+	// slot write of existing strings.
+	rec := inj.Dev.FlightRecorder()
+	flat := ""
+	if rec != nil {
+		flat = comp.Flat()
+	}
+
 	c.Generate(comp.Name, inj.Cfg, inj.uid(), func(in *intent.Intent) {
+		rec.Record(telemetry.EventIntent, flat, in.Action, "")
 		// Latency is sampled 1-in-injSampleEvery: two wall-clock reads per
 		// intent are the single most expensive instruction in this callback,
 		// and the histogram only needs a representative population, not a
@@ -214,6 +224,12 @@ func (inj *Injector) FuzzComponent(c Campaign, comp *manifest.Component) Compone
 // begin the experiments").
 func (inj *Injector) FuzzApp(c Campaign, pkg *manifest.Package) AppRun {
 	run := AppRun{Package: pkg.Name, Campaign: c}
+	// One trace per (campaign, app): the flight recorder's window and every
+	// event in it carry this ID, which is also the farm's shard key — the
+	// thread that links a triage bucket back to the campaign that hit it.
+	if rec := inj.Dev.FlightRecorder(); rec != nil {
+		rec.BeginTrace(c.Letter() + "/" + pkg.Name)
+	}
 	for _, comp := range pkg.Components {
 		if comp.Type != manifest.Activity && comp.Type != manifest.Service {
 			continue

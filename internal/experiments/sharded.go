@@ -23,6 +23,7 @@ func runFarmStudy(kind apps.FleetKind, opts Options) (*StudyResult, error) {
 		Gen:       opts.Gen,
 		Sharding:  opts.Sharding,
 		Telemetry: opts.Telemetry,
+		Status:    opts.Status,
 	}
 	if opts.Progress != nil {
 		cfg.Progress = func(done, total int, key farm.ShardKey, sentSoFar int) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/farm"
 	"repro/internal/logcat"
 	"repro/internal/manifest"
 	"repro/internal/telemetry"
@@ -40,6 +41,9 @@ type Options struct {
 	// Telemetry, when non-nil, receives farm execution metrics (farm mode
 	// only; the serial path's device carries its own registry).
 	Telemetry *telemetry.Registry
+	// Status, when non-nil, is kept current with the farm's live shard
+	// table (farm mode only) — serve it with farm.StatusHandler.
+	Status *farm.StatusBoard
 }
 
 // CampaignOutcome holds the per-campaign view needed for Table III.

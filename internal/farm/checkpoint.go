@@ -29,8 +29,9 @@ import (
 // (seed, fleet, campaigns, targets, generator scaling), so a journal can
 // never be resumed against a run it does not describe.
 
-// journalVersion is bumped on any incompatible format change.
-const journalVersion = 1
+// journalVersion is bumped on any incompatible format change. v2 added
+// flight-recorder windows (kind/component/trace/flight) to crash records.
+const journalVersion = 2
 
 // journalHeader is the first line of a checkpoint file.
 type journalHeader struct {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/intent"
 	"repro/internal/javalang"
+	"repro/internal/telemetry"
 	"repro/internal/triage"
 )
 
@@ -168,22 +169,34 @@ func (ij *intentJSON) restore() *intent.Intent {
 	return in
 }
 
-// crashJSON is one serialized triage record.
+// crashJSON is one serialized triage record (crash or ANR), including the
+// flight-recorder window captured at the failure. telemetry.Event already
+// round-trips byte-identically through JSON, so the window serializes
+// as-is; Kind is omitted for plain crashes (the zero value) to keep v1-era
+// records readable in spirit, though the journal version still gates them.
 type crashJSON struct {
-	Process string      `json:"process,omitempty"`
-	Classes []string    `json:"classes"`
-	Frames  []string    `json:"frames,omitempty"`
-	Intent  *intentJSON `json:"intent,omitempty"`
+	Kind      string            `json:"kind,omitempty"`
+	Process   string            `json:"process,omitempty"`
+	Component string            `json:"component,omitempty"`
+	Classes   []string          `json:"classes,omitempty"`
+	Frames    []string          `json:"frames,omitempty"`
+	Intent    *intentJSON       `json:"intent,omitempty"`
+	Trace     string            `json:"trace,omitempty"`
+	Flight    []telemetry.Event `json:"flight,omitempty"`
 }
 
 func exportCrashes(crashes []*triage.Crash) []crashJSON {
 	out := make([]crashJSON, 0, len(crashes))
 	for _, c := range crashes {
 		out = append(out, crashJSON{
-			Process: c.Process,
-			Classes: c.Classes,
-			Frames:  c.Frames,
-			Intent:  exportIntent(c.Intent),
+			Kind:      c.Kind,
+			Process:   c.Process,
+			Component: c.Component,
+			Classes:   c.Classes,
+			Frames:    c.Frames,
+			Intent:    exportIntent(c.Intent),
+			Trace:     c.Trace,
+			Flight:    c.Flight,
 		})
 	}
 	return out
@@ -193,10 +206,14 @@ func restoreCrashes(cjs []crashJSON) []*triage.Crash {
 	out := make([]*triage.Crash, 0, len(cjs))
 	for _, cj := range cjs {
 		out = append(out, &triage.Crash{
-			Process: cj.Process,
-			Classes: cj.Classes,
-			Frames:  cj.Frames,
-			Intent:  cj.Intent.restore(),
+			Kind:      cj.Kind,
+			Process:   cj.Process,
+			Component: cj.Component,
+			Classes:   cj.Classes,
+			Frames:    cj.Frames,
+			Intent:    cj.Intent.restore(),
+			Trace:     cj.Trace,
+			Flight:    cj.Flight,
 		})
 	}
 	return out

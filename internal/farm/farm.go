@@ -61,10 +61,16 @@ type Config struct {
 	DisableTriage bool
 	// Telemetry, when non-nil, receives farm execution metrics (shard
 	// gauges, per-campaign intent counters, shard/merge latency
-	// histograms). Per-shard devices run with device telemetry disabled —
-	// their registries would be unscrapable anyway — so this registry is
-	// the farm's single observability surface.
+	// histograms). Each shard additionally runs its device with a private
+	// registry that is absorbed into this one when the shard completes, so
+	// the farm endpoint exposes device/fuzzer/binder metrics aggregated
+	// across every shard instead of the old single-device blind spot.
 	Telemetry *telemetry.Registry
+	// Status, when non-nil, is kept current with the live shard table
+	// (state, queue wait, clone source, throughput, ETA); serve it with
+	// StatusHandler. Status is presentation-only: it never influences
+	// scheduling or results.
+	Status *StatusBoard
 	// Progress, when non-nil, is called after every completed shard with
 	// the cumulative completed/total counts and intents sent so far. Calls
 	// are serialized but arrive in completion order, not plan order.
@@ -89,6 +95,10 @@ type ShardResult struct {
 	Summary   core.Summary
 	Report    *analysis.Report
 	Crashes   []*triage.Crash
+	// BootSource reports how the shard device came up ("clone" or
+	// "fresh-boot"); live-status detail only, excluded from the journal and
+	// the merge.
+	BootSource string
 }
 
 // CampaignResult is the merged per-campaign view (Table III's unit).
@@ -129,10 +139,11 @@ type farmMetrics struct {
 	mergeSeconds *telemetry.Histogram
 	crashesRaw   *telemetry.Gauge
 	crashBuckets *telemetry.Gauge
-	snapHits     *telemetry.Counter
-	snapMisses   *telemetry.Counter
-	cloneSeconds *telemetry.Histogram
-	queueWait    *telemetry.Histogram
+	snapHits       *telemetry.Counter
+	snapMisses     *telemetry.Counter
+	cloneSeconds   *telemetry.Histogram
+	queueWait      *telemetry.Histogram
+	recorderEvents *telemetry.Counter
 }
 
 func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
@@ -147,10 +158,11 @@ func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
 		mergeSeconds: reg.Histogram("farm_merge_seconds", telemetry.DefLatencyBuckets),
 		crashesRaw:   reg.Gauge("farm_crashes_raw"),
 		crashBuckets: reg.Gauge("farm_crash_buckets"),
-		snapHits:     reg.Counter("farm_snapshot_hits_total"),
-		snapMisses:   reg.Counter("farm_snapshot_misses_total"),
-		cloneSeconds: reg.Histogram("farm_clone_seconds", telemetry.DefLatencyBuckets),
-		queueWait:    reg.Histogram("farm_shard_queue_wait_seconds", telemetry.DefLatencyBuckets),
+		snapHits:       reg.Counter("farm_snapshot_hits_total"),
+		snapMisses:     reg.Counter("farm_snapshot_misses_total"),
+		cloneSeconds:   reg.Histogram("farm_clone_seconds", telemetry.DefLatencyBuckets),
+		queueWait:      reg.Histogram("farm_shard_queue_wait_seconds", telemetry.DefLatencyBuckets),
+		recorderEvents: reg.Counter("farm_recorder_events_total"),
 	}
 }
 
@@ -221,6 +233,23 @@ func Run(cfg Config) (*Result, error) {
 	workers := cfg.Sharding.NormalizedWorkers()
 	met.shardsTotal.Set(float64(len(plan)))
 	met.workers.Set(float64(workers))
+	cfg.Status.reset(plan, workers)
+	if cfg.Telemetry != nil && cfg.Status != nil {
+		// Derived live-status gauges refresh at scrape time from the board
+		// rather than riding the shard hot path.
+		board := cfg.Status
+		pendingG := cfg.Telemetry.Gauge("farm_shards_pending")
+		runningG := cfg.Telemetry.Gauge("farm_shards_running")
+		etaG := cfg.Telemetry.Gauge("farm_eta_seconds")
+		rateG := cfg.Telemetry.Gauge("farm_intents_per_second")
+		cfg.Telemetry.OnCollect(func() {
+			s := board.Status()
+			pendingG.Set(float64(s.Pending))
+			runningG.Set(float64(s.Running))
+			etaG.Set(s.ETASeconds)
+			rateG.Set(s.IntentsPerSecond)
+		})
+	}
 
 	results := make([]*ShardResult, len(plan))
 	resumed := 0
@@ -232,6 +261,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		defer jnl.Close()
 		met.resumed.Add(uint64(resumed))
+		for idx, r := range results {
+			if r != nil {
+				cfg.Status.markResumed(idx, r.Sent)
+			}
+		}
 	}
 
 	// Per-package fuzzable-component counts feed the tail-aware scheduler's
@@ -385,16 +419,21 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, comps map[stri
 				if failed() {
 					continue // drain
 				}
-				met.queueWait.Observe(time.Since(feedStart).Seconds())
+				wait := time.Since(feedStart)
+				met.queueWait.Observe(wait.Seconds())
 				met.inflight.Add(1)
+				cfg.Status.markRunning(idx, wait)
 				start := time.Now()
 				sr, err := runShard(cfg, kind, plan[idx], met)
-				met.shardSeconds.Observe(time.Since(start).Seconds())
+				dur := time.Since(start)
+				met.shardSeconds.Observe(dur.Seconds())
 				met.inflight.Add(-1)
 				if err != nil {
+					cfg.Status.markFailed(idx)
 					fail(fmt.Errorf("farm: shard %s: %w", plan[idx], err))
 					continue
 				}
+				cfg.Status.markDone(idx, sr.Sent, dur, sr.BootSource)
 				met.done.Inc()
 				met.intents.Add(uint64(sr.Sent))
 				mu.Lock()
@@ -464,13 +503,24 @@ func scheduleLPT(pending []int, plan []ShardKey, comps map[string]int, gen core.
 // shard key, so generation is independent of execution order and worker
 // count.
 func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*ShardResult, error) {
-	fleet, dev, err := bootShard(cfg, kind, key.Package, met)
+	fleet, dev, source, err := bootShard(cfg, kind, key.Package, met)
 	if err != nil {
 		return nil, err
 	}
 	pkg := fleet.Package(key.Package)
 
-	col := analysis.NewCollector()
+	// A per-shard metric registry rides next to the farm registry: the
+	// device/fuzzer/binder/logcat metrics land here and are absorbed into
+	// cfg.Telemetry when the shard completes, so the farm endpoint shows
+	// them aggregated across shards. The registry is attached post-boot
+	// because cloned devices share one immutable template Config.
+	var shardReg *telemetry.Registry
+	if cfg.Telemetry != nil {
+		shardReg = telemetry.NewRegistry()
+		dev.AttachTelemetry(shardReg, nil)
+	}
+
+	col := analysis.NewCollector().UseTelemetry(shardReg)
 	dev.Logcat().Subscribe(col)
 	var tri *triage.Collector
 	if !cfg.DisableTriage {
@@ -478,28 +528,46 @@ func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*
 		dev.Logcat().Subscribe(tri)
 	}
 
+	// The flight recorder exists for the failure windows triage attaches,
+	// so it rides only when triage (or the farm registry, which counts its
+	// events) wants it; a bare benchmark run stays recorder-free.
+	var rec *telemetry.Recorder
+	if tri != nil || cfg.Telemetry != nil {
+		rec = telemetry.NewRecorder(0)
+		dev.SetFlightRecorder(rec)
+	}
+
 	gen := cfg.Gen
 	gen.Seed = rng.New(cfg.Seed).Split("farm-shard-" + key.String()).Uint64()
 	inj := &core.Injector{Dev: dev, Cfg: gen}
 	if tri != nil {
 		inj.Observe = func(in *intent.Intent, res wearos.DeliveryResult) {
-			if res == wearos.DeliveredCrash {
+			if res == wearos.DeliveredCrash || res == wearos.DeliveredANR {
+				// The failure just finalized a triage record; pair it with
+				// its reproducer intent and snapshot the recorder's window —
+				// the events that led here, ending at this failure.
 				tri.AttachIntent(in)
+				tri.AttachFlight(rec.Trace(), rec.Window())
 			}
 		}
 	}
 	run := inj.FuzzApp(key.Campaign, pkg)
 
 	sr := &ShardResult{
-		Key:       key,
-		Seed:      gen.Seed,
-		Sent:      run.Sent,
-		BootCount: dev.BootCount(),
-		Summary:   core.Summarize(run, dev.BootCount()),
-		Report:    col.Report(),
+		Key:        key,
+		Seed:       gen.Seed,
+		Sent:       run.Sent,
+		BootCount:  dev.BootCount(),
+		Summary:    core.Summarize(run, dev.BootCount()),
+		Report:     col.Report(),
+		BootSource: source,
 	}
 	if tri != nil {
 		sr.Crashes = tri.Crashes()
+	}
+	if cfg.Telemetry != nil {
+		met.recorderEvents.Add(rec.Recorded())
+		cfg.Telemetry.Absorb(shardReg)
 	}
 	return sr, nil
 }
@@ -563,12 +631,17 @@ func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triag
 	if !ok {
 		return
 	}
-	_, dev, err := bootShard(cfg, kind, exemplar.Intent.Component.Package, farmMetrics{})
+	_, dev, _, err := bootShard(cfg, kind, exemplar.Intent.Component.Package, farmMetrics{})
 	if err != nil {
 		return
 	}
 	tri := triage.NewCollector()
 	dev.Logcat().Subscribe(tri)
+	// ANR buckets reproduce as ANRs, crash buckets as crashes.
+	wantRes := wearos.DeliveredCrash
+	if b.Kind == triage.KindANR {
+		wantRes = wearos.DeliveredANR
+	}
 	seen := 0
 	oracle := func(cand *intent.Intent) bool {
 		in := cand.Clone()
@@ -579,7 +652,7 @@ func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triag
 		} else {
 			res = dev.StartActivity(in)
 		}
-		if res != wearos.DeliveredCrash {
+		if res != wantRes {
 			return false
 		}
 		crashes := tri.Crashes()

@@ -2,6 +2,8 @@ package farm_test
 
 import (
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -215,6 +217,140 @@ func TestFarmTelemetryAndProgress(t *testing.T) {
 	}
 	if snap.Gauges["farm_shards_inflight"] != 0 {
 		t.Fatalf("farm_shards_inflight = %v after completion", snap.Gauges["farm_shards_inflight"])
+	}
+}
+
+// TestFlightRecorderAttachedToBuckets checks the crash-forensics contract:
+// every triage bucket's exemplar carries a flight-record window — recent
+// structured events linked by the shard's trace ID and ending at the
+// failure verdict — and the window survives into the JSON export.
+func TestFlightRecorderAttachedToBuckets(t *testing.T) {
+	sr := runStudy(t, core.Sharding{Workers: 4})
+	if sr.Triage == nil || sr.Triage.Crashes == 0 {
+		t.Skip("no failures at this scale; nothing to attach")
+	}
+	for _, b := range sr.Triage.Buckets {
+		if b.Exemplar == nil {
+			t.Fatalf("bucket %016x has no exemplar", b.Hash)
+		}
+		if b.Exemplar.Trace == "" {
+			t.Errorf("bucket %016x exemplar has no trace ID", b.Hash)
+		}
+		w := b.Exemplar.Flight
+		if len(w) == 0 {
+			t.Fatalf("bucket %016x exemplar has no flight window", b.Hash)
+		}
+		// The window ends at the failure: the final event is the dispatch
+		// result of the failing injection, and the verdict event (exception
+		// class or "anr") lands just before it, during delivery settling.
+		last := w[len(w)-1]
+		if last.Kind != telemetry.EventDispatch {
+			t.Errorf("bucket %016x window ends with %s, want %s", b.Hash, last.Kind, telemetry.EventDispatch)
+		}
+		verdicts := 0
+		for _, e := range w {
+			if e.Kind == telemetry.EventVerdict {
+				verdicts++
+				if b.Kind == "anr" && e.Detail == "" {
+					t.Errorf("ANR bucket %016x verdict has empty detail", b.Hash)
+				}
+			}
+		}
+		if verdicts == 0 {
+			t.Errorf("bucket %016x window carries no verdict event", b.Hash)
+		}
+		for i, e := range w {
+			if e.Trace != b.Exemplar.Trace {
+				t.Errorf("bucket %016x event %d trace %q != exemplar trace %q", b.Hash, i, e.Trace, b.Exemplar.Trace)
+			}
+			if i > 0 && e.Seq <= w[i-1].Seq {
+				t.Errorf("bucket %016x window seq not increasing at %d: %d after %d", b.Hash, i, e.Seq, w[i-1].Seq)
+			}
+		}
+	}
+	exp := report.ExportStudy(sr, 1)
+	if exp.Triage == nil {
+		t.Fatal("export dropped the triage section")
+	}
+	for _, be := range exp.Triage.Buckets {
+		if len(be.Flight) == 0 || be.Trace == "" {
+			t.Errorf("exported bucket %s lost its flight window (trace=%q, %d events)",
+				be.Hash, be.Trace, len(be.Flight))
+		}
+	}
+}
+
+func TestStatusBoardTracksRun(t *testing.T) {
+	board := farm.NewStatusBoard()
+	res, err := farm.Run(farm.Config{
+		Seed:      1,
+		Campaigns: []core.Campaign{core.CampaignA},
+		Packages:  testPackages,
+		Gen:       testGen(),
+		Sharding:  core.Sharding{Workers: 2},
+		Status:    board,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := board.Status()
+	if s.Total != len(testPackages) || s.Done != len(testPackages) {
+		t.Fatalf("status total=%d done=%d, want %d", s.Total, s.Done, len(testPackages))
+	}
+	if s.Pending != 0 || s.Running != 0 || s.Failed != 0 {
+		t.Fatalf("finished run left pending=%d running=%d failed=%d", s.Pending, s.Running, s.Failed)
+	}
+	if s.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", s.Workers)
+	}
+	if s.IntentsTotal != res.Sent {
+		t.Fatalf("intentsTotal = %d, want %d", s.IntentsTotal, res.Sent)
+	}
+	for _, sh := range s.Shards {
+		if sh.State != farm.StateDone {
+			t.Fatalf("shard %s state = %q", sh.Key, sh.State)
+		}
+		if sh.Source != farm.BootClone && sh.Source != farm.BootFresh {
+			t.Fatalf("shard %s boot source = %q", sh.Key, sh.Source)
+		}
+		if sh.Sent == 0 {
+			t.Errorf("shard %s reported zero intents", sh.Key)
+		}
+	}
+
+	srv := httptest.NewServer(farm.StatusHandler(board))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap farm.StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done != len(testPackages) || len(snap.Shards) != len(testPackages) {
+		t.Fatalf("served snapshot done=%d shards=%d", snap.Done, len(snap.Shards))
+	}
+}
+
+func TestStatusBoardNilSafe(t *testing.T) {
+	var board *farm.StatusBoard
+	if s := board.Status(); s.Total != 0 {
+		t.Fatalf("nil board status = %+v", s)
+	}
+	srv := httptest.NewServer(farm.StatusHandler(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
 	}
 }
 

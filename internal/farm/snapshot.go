@@ -100,36 +100,37 @@ func (c *snapshotCache) deviceSnapshot(cfg wearos.Config) (s *wearos.Snapshot, h
 // package installed and its handlers registered, and nothing else — exactly
 // the state runShard previously reached by booting fresh. met records the
 // cache outcome and the clone latency (a hit requires both the fleet
-// template and the device snapshot to be cached).
-func bootShard(cfg Config, kind apps.FleetKind, pkgName string, met farmMetrics) (*apps.Fleet, *wearos.OS, error) {
+// template and the device snapshot to be cached). source names the boot
+// path ("clone" or "fresh-boot") for the shard status board.
+func bootShard(cfg Config, kind apps.FleetKind, pkgName string, met farmMetrics) (*apps.Fleet, *wearos.OS, string, error) {
 	if cfg.Sharding.DisableSnapshot {
 		fleet, err := apps.BuildFleetPackage(kind, cfg.Seed, pkgName)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		dev := wearos.New(deviceConfig(kind))
 		if _, err := fleet.InstallPackageInto(dev, pkgName); err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		return fleet, dev, nil
+		return fleet, dev, BootFresh, nil
 	}
 
 	start := time.Now()
 	tmpl, fleetHit, err := bootCache.fleetTemplate(kind, cfg.Seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	snap, devHit, err := bootCache.deviceSnapshot(deviceConfig(kind))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	fleet, err := tmpl.Instantiate(pkgName)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	dev := snap.Clone()
 	if _, err := fleet.InstallPackageInto(dev, pkgName); err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	met.cloneSeconds.Observe(time.Since(start).Seconds())
 	if fleetHit && devHit {
@@ -137,5 +138,11 @@ func bootShard(cfg Config, kind apps.FleetKind, pkgName string, met farmMetrics)
 	} else {
 		met.snapMisses.Inc()
 	}
-	return fleet, dev, nil
+	return fleet, dev, BootClone, nil
 }
+
+// Boot-source names reported on ShardResult.BootSource and the status board.
+const (
+	BootClone = "clone"
+	BootFresh = "fresh-boot"
+)

@@ -46,16 +46,20 @@ type ShardingExport struct {
 	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
-// TriageExport is the deduplicated crash roll-up.
+// TriageExport is the deduplicated failure roll-up.
 type TriageExport struct {
 	RawCrashes int                  `json:"rawCrashes"`
+	RawANRs    int                  `json:"rawANRs,omitempty"`
 	Unique     int                  `json:"uniqueSignatures"`
 	Buckets    []TriageBucketExport `json:"buckets"`
 }
 
-// TriageBucketExport is one unique crash signature.
+// TriageBucketExport is one unique failure signature.
 type TriageBucketExport struct {
-	Hash  string `json:"hash"`
+	Hash string `json:"hash"`
+	// Kind distinguishes crash buckets from ANR buckets; empty means crash
+	// (the historical default).
+	Kind  string `json:"kind,omitempty"`
 	Count int    `json:"count"`
 	Class string `json:"class"`
 	Frame string `json:"frame,omitempty"`
@@ -65,6 +69,11 @@ type TriageBucketExport struct {
 	Minimized  string `json:"minimized,omitempty"`
 	Reproduced bool   `json:"reproduced"`
 	Trials     int    `json:"minimizerTrials,omitempty"`
+	// Trace and Flight are the flight-recorder forensics attached to the
+	// bucket's exemplar: the campaign/package trace ID and the window of
+	// structured events that ended at the failure.
+	Trace  string            `json:"trace,omitempty"`
+	Flight []telemetry.Event `json:"flight,omitempty"`
 }
 
 // CampaignExport summarizes one campaign.
@@ -132,15 +141,24 @@ func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
 		}
 	}
 	if sr.Triage != nil {
-		out.Triage = &TriageExport{RawCrashes: sr.Triage.Crashes, Unique: sr.Triage.Unique()}
+		out.Triage = &TriageExport{
+			RawCrashes: sr.Triage.Crashes,
+			RawANRs:    sr.Triage.ANRs,
+			Unique:     sr.Triage.Unique(),
+		}
 		for _, b := range sr.Triage.Buckets {
 			be := TriageBucketExport{
 				Hash:       fmt.Sprintf("%016x", b.Hash),
+				Kind:       b.Kind,
 				Count:      b.Count,
 				Class:      b.Class,
 				Frame:      b.Frame,
 				Reproduced: b.Reproduced,
 				Trials:     b.Trials,
+			}
+			if b.Exemplar != nil {
+				be.Trace = b.Exemplar.Trace
+				be.Flight = b.Exemplar.Flight
 			}
 			if b.Exemplar != nil && b.Exemplar.Intent != nil {
 				be.Exemplar = b.Exemplar.Intent.String()

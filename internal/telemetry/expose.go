@@ -73,6 +73,9 @@ func writeHistogram(w io.Writer, e *entry) error {
 }
 
 // sampleName renders name{labels...} with an optional extra label (le).
+// Label values are escaped per the text exposition format so values like
+// the manifestation "No Effect" (or anything carrying quotes, backslashes,
+// or newlines) survive a scrape-and-parse round trip.
 func sampleName(name string, labels []Label, extra *Label) string {
 	if len(labels) == 0 && extra == nil {
 		return name
@@ -86,7 +89,7 @@ func sampleName(name string, labels []Label, extra *Label) string {
 		}
 		sb.WriteString(l.Key)
 		sb.WriteString(`="`)
-		sb.WriteString(l.Value)
+		writeEscapedLabelValue(&sb, l.Value)
 		sb.WriteString(`"`)
 	}
 	if extra != nil {
@@ -95,11 +98,34 @@ func sampleName(name string, labels []Label, extra *Label) string {
 		}
 		sb.WriteString(extra.Key)
 		sb.WriteString(`="`)
-		sb.WriteString(extra.Value)
+		writeEscapedLabelValue(&sb, extra.Value)
 		sb.WriteString(`"`)
 	}
 	sb.WriteByte('}')
 	return sb.String()
+}
+
+// writeEscapedLabelValue writes v with backslash, double-quote, and
+// line-feed escaped as \\, \", and \n — exactly the three escapes the
+// Prometheus text format (0.0.4) defines for label values. The common case
+// (no special characters) takes the single-pass fast path.
+func writeEscapedLabelValue(sb *strings.Builder, v string) {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		sb.WriteString(v)
+		return
+	}
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
 }
 
 func formatFloat(v float64) string {

@@ -39,6 +39,55 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabelEscaping pins the text-format escaping contract:
+// label values containing spaces, quotes, backslashes, or newlines must
+// round-trip through a standards-conforming parser. The manifestation
+// labels ("No Effect", "Crash only") are the values that hit this in
+// practice.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("analysis_components", L("manifestation", "No Effect")).Set(42)
+	reg.Counter("odd_total", L("v", `back\slash "quoted"`+"\nnext")).Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`analysis_components{manifestation="No Effect"} 42`,
+		`odd_total{v="back\\slash \"quoted\"\nnext"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line must stay a single line: the raw newline in the
+	// label value may not split it.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") || strings.Count(line, `"`)%2 != 0 {
+			t.Fatalf("malformed sample line %q in:\n%s", line, out)
+		}
+	}
+	// Round-trip per the exposition format's escape rules.
+	i := strings.Index(out, `odd_total{v="`)
+	if i < 0 {
+		t.Fatalf("odd_total sample missing:\n%s", out)
+	}
+	rest := out[i+len(`odd_total{v="`):]
+	j := strings.Index(rest, `"}`)
+	if j < 0 {
+		t.Fatalf("odd_total sample unterminated:\n%s", out)
+	}
+	unescaped := strings.NewReplacer(`\\`, "\\", `\"`, `"`, `\n`, "\n").Replace(rest[:j])
+	if want := `back\slash "quoted"` + "\nnext"; unescaped != want {
+		t.Fatalf("label value round-trip = %q, want %q", unescaped, want)
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("a_total").Add(3)
@@ -81,7 +130,7 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	defer srv.Close()
 
-	get := func(path string) string {
+	get := func(path, wantType string) string {
 		t.Helper()
 		client := &http.Client{Timeout: 5 * time.Second}
 		resp, err := client.Get("http://" + srv.Addr + path)
@@ -92,6 +141,11 @@ func TestServeEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
+		if wantType != "" {
+			if ct := resp.Header.Get("Content-Type"); ct != wantType {
+				t.Fatalf("GET %s: Content-Type %q, want %q", path, ct, wantType)
+			}
+		}
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
 			t.Fatal(err)
@@ -99,16 +153,59 @@ func TestServeEndpoints(t *testing.T) {
 		return string(body)
 	}
 
-	if out := get("/metrics"); !strings.Contains(out, "served_total 1") {
+	if out := get("/metrics", "text/plain; version=0.0.4; charset=utf-8"); !strings.Contains(out, "served_total 1") {
 		t.Fatalf("/metrics missing counter:\n%s", out)
 	}
-	if out := get("/vars"); !strings.Contains(out, `"served_total": 1`) {
+	if out := get("/vars", "application/json; charset=utf-8"); !strings.Contains(out, `"served_total": 1`) {
 		t.Fatalf("/vars missing counter:\n%s", out)
 	}
-	if out := get("/spans"); !strings.Contains(out, `"boot"`) {
+	if out := get("/spans", "application/json; charset=utf-8"); !strings.Contains(out, `"boot"`) {
 		t.Fatalf("/spans missing span:\n%s", out)
 	}
-	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+	if out := get("/healthz", "text/plain; charset=utf-8"); strings.TrimSpace(out) != "ok" {
+		t.Fatalf("/healthz = %q, want ok", out)
+	}
+	if out := get("/", "text/plain; charset=utf-8"); !strings.Contains(out, "/healthz") {
+		t.Fatalf("root index missing /healthz:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline", ""); len(out) == 0 {
 		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestHandlerExtraRoutes pins the Route extension point: a mounted route
+// serves and is listed by the root index.
+func TestHandlerExtraRoutes(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, nil, Route{
+		Pattern: "/farm",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_, _ = w.Write([]byte(`{"shards":[]}`))
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + srv.Addr + "/farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"shards"`) {
+		t.Fatalf("GET /farm: status %d body %q", resp.StatusCode, body)
+	}
+	resp, err = client.Get("http://" + srv.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/farm") {
+		t.Fatalf("root index missing /farm: %q", body)
 	}
 }

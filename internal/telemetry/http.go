@@ -9,15 +9,25 @@ import (
 	"time"
 )
 
+// Route mounts an extra handler on the exposition endpoint; the caller
+// owns the pattern namespace (e.g. the farm mounts its live shard table
+// on "/farm").
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the exposition endpoint for a registry:
 //
 //	/metrics        Prometheus text exposition
 //	/vars           expvar-style JSON snapshot
 //	/spans          finished spans as JSON (when a tracer is attached)
+//	/healthz        liveness probe ("ok")
 //	/debug/pprof/*  the standard Go profiling handlers
 //
-// tracer may be nil.
-func Handler(reg *Registry, tracer *Tracer) http.Handler {
+// tracer may be nil. Extra routes are mounted verbatim and listed by the
+// root index.
+func Handler(reg *Registry, tracer *Tracer, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -41,17 +51,28 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 			}{tracer.Active(), tracer.Dropped(), tracer.Finished()})
 		})
 	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "qgj telemetry: /metrics /vars /spans /healthz"
+	for _, rt := range extra {
+		index += " " + rt.Pattern
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
+	index += " /debug/pprof/"
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "qgj telemetry: /metrics /vars /spans /debug/pprof/")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, index)
 	})
 	return mux
 }
@@ -66,12 +87,12 @@ type Server struct {
 
 // Serve binds addr (e.g. ":9090" or ":0" for an ephemeral port) and serves
 // the exposition handler in a background goroutine until Close.
-func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+func Serve(addr string, reg *Registry, tracer *Tracer, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tracer), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, tracer, extra...), ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return s, nil

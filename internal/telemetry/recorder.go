@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+const (
+	// EventIntent: the fuzzer generated an intent and is about to send it.
+	EventIntent EventKind = iota + 1
+	// EventDispatch: the OS finished delivering an intent; Detail carries
+	// the DeliveryResult name.
+	EventDispatch
+	// EventDenial: a pre-delivery gate rejected the intent; Detail carries
+	// the denial reason.
+	EventDenial
+	// EventReboot: the device rebooted; Detail carries the reboot reason.
+	EventReboot
+	// EventVerdict: an oracle observed a failure; Detail is "anr" for an
+	// ANR and the root exception class for a crash.
+	EventVerdict
+	// EventBinder: a binder transaction failed against a dead process.
+	EventBinder
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventIntent:
+		return "intent"
+	case EventDispatch:
+		return "dispatch"
+	case EventDenial:
+		return "denial"
+	case EventReboot:
+		return "reboot"
+	case EventVerdict:
+		return "verdict"
+	case EventBinder:
+		return "binder"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the kind as its name so journals and report artifacts
+// stay readable and stable if the enum is ever reordered.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the kind name written by MarshalJSON.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for c := EventIntent; c <= EventBinder; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Event is one structured flight-recorder entry. All fields are plain
+// values (no lazy references), so a snapshotted window stays valid after
+// the device that produced it is gone.
+type Event struct {
+	// Seq is the recorder-local sequence number (1-based, monotonic).
+	Seq uint64 `json:"seq"`
+	// Time is the device-clock stamp. Bulk events (intent, dispatch) carry
+	// a sampled stamp that may lag by up to stampSampleEvery events; rare
+	// events (denial, verdict, reboot, binder death) are stamped exactly.
+	Time time.Time `json:"time"`
+	Kind EventKind `json:"kind"`
+	// Trace is the campaign trace ID active when the event was recorded
+	// (e.g. "A/com.heartwatch.wear").
+	Trace string `json:"trace,omitempty"`
+	// Subject is what the event is about: a component for intents and
+	// dispatches, a process for verdicts, a binder endpoint for deaths.
+	Subject string `json:"subject,omitempty"`
+	// Action is the intent action in flight, when one applies.
+	Action string `json:"action,omitempty"`
+	// Detail carries the kind-specific outcome (delivery result, denial
+	// reason, verdict, reboot reason).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event for humans. Rendering is deliberately not done
+// at record time — the hot path stores fields and formats nothing.
+func (e *Event) String() string {
+	return fmt.Sprintf("#%d %s %s subject=%q action=%q detail=%q",
+		e.Seq, e.Time.Format(time.RFC3339), e.Kind, e.Subject, e.Action, e.Detail)
+}
+
+// DefaultRecorderCapacity bounds the event ring when capacity <= 0: large
+// enough to show the run-up to a failure, small enough that attaching a
+// window to every triage record stays cheap.
+const DefaultRecorderCapacity = 64
+
+// stampSampleEvery is how often a bulk Record call refreshes the cached
+// clock stamp (power of two). Reading the virtual clock takes a mutex; at
+// a few hundred ns per dispatch an exact stamp per event would blow the
+// <5% recorder budget, and between injections the virtual clock only moves
+// in fuzzer pacing steps anyway. The sampling counter is part of recorder
+// state, so stamps are deterministic for a deterministic event stream.
+const stampSampleEvery = 16
+
+// Recorder is a fixed-capacity flight recorder: a ring of pooled event
+// slots that always holds the most recent window of structured events.
+// Record writes in place and allocates nothing; Window copies the ring out
+// when a failure makes the history worth keeping. Like the device it
+// instruments, a Recorder is single-threaded; a nil *Recorder no-ops.
+type Recorder struct {
+	events []Event
+	mask   int // len(events)-1; capacity is always a power of two
+	start  int // index of oldest retained event
+	count  int
+	seq    uint64
+	trace  string
+	now    func() time.Time
+	stamp  time.Time
+}
+
+// NewRecorder returns a recorder retaining the last capacity events
+// (DefaultRecorderCapacity when capacity <= 0; rounded up to a power of
+// two so ring indexing is a mask, not a division). The slot pool is
+// allocated up front so recording never grows it.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	pow := 1
+	for pow < capacity {
+		pow <<= 1
+	}
+	return &Recorder{events: make([]Event, pow), mask: pow - 1}
+}
+
+// SetClock attaches the time source used to stamp events (typically the
+// device's virtual clock). Without one, events carry zero times.
+func (r *Recorder) SetClock(now func() time.Time) {
+	if r != nil {
+		r.now = now
+	}
+}
+
+// BeginTrace starts a new trace window: subsequent events carry the given
+// trace ID and the retained window is reset, so a snapshot never mixes
+// events from two campaigns. The sequence counter keeps running.
+func (r *Recorder) BeginTrace(id string) {
+	if r == nil {
+		return
+	}
+	r.trace = id
+	r.start, r.count = 0, 0
+}
+
+// Trace returns the active trace ID ("" for nil or before BeginTrace).
+func (r *Recorder) Trace() string {
+	if r == nil {
+		return ""
+	}
+	return r.trace
+}
+
+// Record appends a bulk event (sampled clock stamp). The write lands in a
+// pooled ring slot: no allocation, no formatting.
+func (r *Recorder) Record(kind EventKind, subject, action, detail string) {
+	if r == nil {
+		return
+	}
+	if r.seq&(stampSampleEvery-1) == 0 && r.now != nil {
+		r.stamp = r.now()
+	}
+	r.record(kind, subject, action, detail)
+}
+
+// RecordNow appends an event with an exact clock stamp. Failure-adjacent
+// sites (denials, verdicts, reboots, binder deaths) use it so the tail of
+// a snapshotted window is precisely timed.
+func (r *Recorder) RecordNow(kind EventKind, subject, action, detail string) {
+	if r == nil {
+		return
+	}
+	if r.now != nil {
+		r.stamp = r.now()
+	}
+	r.record(kind, subject, action, detail)
+}
+
+func (r *Recorder) record(kind EventKind, subject, action, detail string) {
+	var slot *Event
+	if r.count < len(r.events) {
+		slot = &r.events[(r.start+r.count)&r.mask]
+		r.count++
+	} else {
+		slot = &r.events[r.start]
+		r.start = (r.start + 1) & r.mask
+	}
+	r.seq++
+	slot.Seq = r.seq
+	slot.Time = r.stamp
+	slot.Kind = kind
+	slot.Trace = r.trace
+	slot.Subject = subject
+	slot.Action = action
+	slot.Detail = detail
+}
+
+// Window returns a copy of the retained events, oldest first. The copy is
+// independent of the ring: safe to attach to a triage record while the
+// recorder keeps running.
+func (r *Recorder) Window() []Event {
+	if r == nil || r.count == 0 {
+		return nil
+	}
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.events[(r.start+i)&r.mask]
+	}
+	return out
+}
+
+// Recorded returns the total number of events ever recorded (including
+// those evicted from the ring).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}

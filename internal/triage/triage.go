@@ -19,15 +19,31 @@ import (
 	"repro/internal/intent"
 	"repro/internal/javalang"
 	"repro/internal/logcat"
+	"repro/internal/telemetry"
 )
 
-// Crash is one reassembled FATAL EXCEPTION occurrence.
+// Failure record kinds (Crash.Kind).
+const (
+	KindCrash = "crash"
+	KindANR   = "anr"
+)
+
+// Crash is one reassembled failure record: a FATAL EXCEPTION occurrence or
+// an ANR (the type name predates ANR support; both flow through the same
+// bucketing pipeline, mirroring how the paper counts both manifestations).
 type Crash struct {
-	// Process is the crashing process name (from the "Process: <name>, PID"
-	// trace line).
+	// Kind discriminates the record: KindCrash (or "", for records built
+	// before ANRs became first-class) versus KindANR.
+	Kind string
+	// Process is the failing process name (from the "Process: <name>, PID"
+	// trace line for crashes, the "ANR in <proc>" line for ANRs).
 	Process string
+	// Component is the flat component name the ANR line attributes
+	// ("ANR in proc (component)"); empty for crash records, whose identity
+	// is the stack, not the component.
+	Component string
 	// Classes lists the exception chain classes, outermost wrapper first,
-	// root cause last — the order ART prints them.
+	// root cause last — the order ART prints them. Empty for ANRs.
 	Classes []string
 	// Frames are the root-cause exception's stack frames, innermost first,
 	// normalized to "pkg.Class.method" (file/line stripped: line numbers
@@ -37,7 +53,16 @@ type Crash struct {
 	// (attached by the injector's Observe hook; reproducer for the
 	// minimizer).
 	Intent *intent.Intent
+	// Trace is the campaign trace ID active when the failure happened
+	// (attached with Flight).
+	Trace string
+	// Flight is the flight-recorder window snapshotted at the failure:
+	// the structured events leading up to and ending at it.
+	Flight []telemetry.Event
 }
+
+// IsANR reports whether the record is an ANR rather than a crash.
+func (c *Crash) IsANR() bool { return c.Kind == KindANR }
 
 // RootClass returns the root-cause exception class ("" for an empty record).
 func (c *Crash) RootClass() string {
@@ -56,23 +81,34 @@ func (c *Crash) RootFrame() string {
 	return c.Frames[0]
 }
 
-// Hash is the crash's bucket signature: FNV-64a over the root exception
-// class and the root stack frame. Two crashes with the same root frame hash
-// into the same bucket regardless of message text, wrapper exceptions, or
-// which component crashed.
+// Hash is the record's bucket signature. Crashes hash FNV-64a over the
+// root exception class and the root stack frame: two crashes with the same
+// root frame bucket together regardless of message text, wrapper
+// exceptions, or which component crashed. ANRs have no stack; they hash
+// over the "anr" sentinel and the wedged component, so each component that
+// ANRs gets its own bucket. Crash hashes are unchanged by ANR support.
 func (c *Crash) Hash() uint64 {
 	h := fnv.New64a()
+	if c.IsANR() {
+		_, _ = h.Write([]byte(KindANR))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(c.Component))
+		return h.Sum64()
+	}
 	_, _ = h.Write([]byte(c.RootClass()))
 	_, _ = h.Write([]byte{0})
 	_, _ = h.Write([]byte(c.RootFrame()))
 	return h.Sum64()
 }
 
-// Bucket is one deduplicated crash signature.
+// Bucket is one deduplicated failure signature.
 type Bucket struct {
 	Hash  uint64
 	Count int
-	// Class and Frame are the shared root signature.
+	// Kind mirrors the exemplar's record kind (KindCrash / KindANR).
+	Kind string
+	// Class and Frame are the shared root signature. ANR buckets, which
+	// have no stack, show "ANR" and the wedged component instead.
 	Class string
 	Frame string
 	// Exemplar is the first crash (in input order) that hit this bucket.
@@ -87,10 +123,13 @@ type Bucket struct {
 	Reproduced bool
 }
 
-// Result is the outcome of a triage pass over a campaign's crashes.
+// Result is the outcome of a triage pass over a campaign's failures.
 type Result struct {
-	// Crashes is the raw FATAL EXCEPTION event count.
+	// Crashes is the raw failure record count — FATAL EXCEPTION events plus
+	// ANRs — so Unique() <= Crashes always holds.
 	Crashes int
+	// ANRs is how many of those records are ANRs.
+	ANRs int
 	// Buckets are the unique signatures, most frequent first (class, frame,
 	// hash break ties deterministically).
 	Buckets []Bucket
@@ -111,11 +150,18 @@ func (r *Result) Unique() int {
 func Bucketize(crashes []*Crash) *Result {
 	byHash := make(map[uint64]*Bucket)
 	var order []uint64
+	anrs := 0
 	for _, c := range crashes {
+		if c.IsANR() {
+			anrs++
+		}
 		h := c.Hash()
 		b, ok := byHash[h]
 		if !ok {
-			b = &Bucket{Hash: h, Class: c.RootClass(), Frame: c.RootFrame(), Exemplar: c}
+			b = &Bucket{Hash: h, Kind: c.Kind, Class: c.RootClass(), Frame: c.RootFrame(), Exemplar: c}
+			if c.IsANR() {
+				b.Class, b.Frame = "ANR", c.Component
+			}
 			byHash[h] = b
 			order = append(order, h)
 		}
@@ -125,7 +171,7 @@ func Bucketize(crashes []*Crash) *Result {
 			b.Exemplar = c
 		}
 	}
-	out := &Result{Crashes: len(crashes)}
+	out := &Result{Crashes: len(crashes), ANRs: anrs}
 	for _, h := range order {
 		out.Buckets = append(out.Buckets, *byHash[h])
 	}
@@ -188,6 +234,19 @@ func (c *Collector) AttachIntent(in *intent.Intent) bool {
 	return true
 }
 
+// AttachFlight pairs a flight-recorder window (and its trace ID) with the
+// most recently finalized record, when that record does not already carry
+// one — same contract and timing as AttachIntent. The caller hands over
+// ownership of events (Recorder.Window already returns a private copy).
+func (c *Collector) AttachFlight(trace string, events []telemetry.Event) bool {
+	if c.last == nil || c.last.Flight != nil || len(events) == 0 {
+		return false
+	}
+	c.last.Trace = trace
+	c.last.Flight = events
+	return true
+}
+
 // ConsumeAll feeds a slice of entries (a pulled logcat dump) in order.
 func (c *Collector) ConsumeAll(entries []logcat.Entry) {
 	for _, e := range entries {
@@ -207,10 +266,31 @@ func (c *Collector) Consume(e logcat.Entry) {
 	case logcat.TagAndroidRuntime:
 		c.consumeRuntime(e)
 	case logcat.TagActivityManager:
-		if strings.HasPrefix(e.Message, "Process ") && strings.Contains(e.Message, "has died") {
+		switch {
+		case strings.HasPrefix(e.Message, "Process ") && strings.Contains(e.Message, "has died"):
 			c.finalize(diedPID(e.Message))
+		case strings.HasPrefix(e.Message, "ANR in "):
+			c.consumeANR(e.Message)
 		}
 	}
+}
+
+// consumeANR turns an "ANR in <proc> (<component>)" line into a finalized
+// ANR record. Unlike crashes, ANRs are single-line: there is no block to
+// reassemble, so the record is complete (and attachable) immediately.
+func (c *Collector) consumeANR(msg string) {
+	rest := strings.TrimPrefix(msg, "ANR in ")
+	proc, comp, ok := strings.Cut(rest, " (")
+	if !ok {
+		return
+	}
+	comp = strings.TrimSuffix(comp, ")")
+	if proc == "" || comp == "" {
+		return
+	}
+	rec := &Crash{Kind: KindANR, Process: proc, Component: comp}
+	c.crashes = append(c.crashes, rec)
+	c.last = rec
 }
 
 func (c *Collector) consumeRuntime(e logcat.Entry) {
@@ -252,7 +332,7 @@ func (c *Collector) finalize(pid int) {
 	if len(blk.classes) == 0 {
 		return
 	}
-	rec := &Crash{Process: blk.process, Classes: blk.classes, Frames: blk.frames}
+	rec := &Crash{Kind: KindCrash, Process: blk.process, Classes: blk.classes, Frames: blk.frames}
 	c.crashes = append(c.crashes, rec)
 	c.last = rec
 }

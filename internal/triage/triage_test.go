@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/intent"
 	"repro/internal/logcat"
+	"repro/internal/telemetry"
 )
 
 func crash(class, frame string) *Crash {
@@ -203,6 +204,62 @@ func TestCollectorInterleavedPIDsAndAttachIntent(t *testing.T) {
 	}
 	if got[1].Process != "com.b" || got[1].Intent != nil {
 		t.Fatalf("crash 1 = %+v", got[1])
+	}
+}
+
+func TestCollectorANRRecords(t *testing.T) {
+	c := NewCollector()
+	// The two lines wearos.settle emits for an ANR, followed by an
+	// unrelated crash so ordering of c.last is exercised.
+	c.Consume(logcat.Entry{PID: 1000, Level: logcat.Error, Tag: logcat.TagActivityManager,
+		Message: "ANR in com.app (com.app/com.app.Main)"})
+	c.Consume(logcat.Entry{PID: 1000, Level: logcat.Error, Tag: logcat.TagActivityManager,
+		Message: "Reason: Input dispatching timed out (Waiting to send non-key event because the touched window has not finished processing certain input events)"})
+
+	in := &intent.Intent{Action: "android.intent.action.VIEW"}
+	if !c.AttachIntent(in) {
+		t.Fatal("AttachIntent must pair with the finalized ANR record")
+	}
+	if !c.AttachFlight("A/com.app", []telemetry.Event{{Seq: 1, Kind: telemetry.EventVerdict, Detail: "anr"}}) {
+		t.Fatal("AttachFlight must pair with the finalized ANR record")
+	}
+	if c.AttachFlight("A/com.app", []telemetry.Event{{Seq: 2}}) {
+		t.Fatal("AttachFlight must refuse when the last record already has a window")
+	}
+
+	c.ConsumeAll(crashEntries(10, "com.app", []string{
+		"java.lang.NullPointerException: x",
+		"\tat com.app.A.run(A.java:1)",
+	}))
+
+	got := c.Crashes()
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want ANR + crash", len(got))
+	}
+	anr := got[0]
+	if !anr.IsANR() || anr.Process != "com.app" || anr.Component != "com.app/com.app.Main" {
+		t.Fatalf("ANR record = %+v", anr)
+	}
+	if anr.Intent == nil || anr.Trace != "A/com.app" || len(anr.Flight) != 1 {
+		t.Fatalf("ANR record missing attachments: %+v", anr)
+	}
+	if got[1].IsANR() {
+		t.Fatalf("crash record mis-kinded: %+v", got[1])
+	}
+	if anr.Hash() == got[1].Hash() {
+		t.Fatal("ANR and crash must not share a bucket")
+	}
+
+	res := Bucketize(got)
+	if res.Crashes != 2 || res.ANRs != 1 || res.Unique() != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, b := range res.Buckets {
+		if b.Kind == KindANR {
+			if b.Class != "ANR" || b.Frame != "com.app/com.app.Main" {
+				t.Fatalf("ANR bucket signature = %q/%q", b.Class, b.Frame)
+			}
+		}
 	}
 }
 

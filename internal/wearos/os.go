@@ -191,6 +191,7 @@ type OS struct {
 
 	tel         *telemetry.Registry
 	tracer      *telemetry.Tracer
+	rec         *telemetry.Recorder
 	osm         osMetrics
 	dispatchSeq uint64
 	// dispatchPending batches wearos_dispatch_total increments per result;
@@ -403,6 +404,38 @@ func (o *OS) Telemetry() *telemetry.Registry { return o.tel }
 // Tracer returns the device span tracer, or nil when telemetry is disabled.
 func (o *OS) Tracer() *telemetry.Tracer { return o.tracer }
 
+// SetFlightRecorder attaches a flight recorder: the dispatcher, the gates,
+// the failure oracles, and the binder router record structured events into
+// it from then on. The recorder is stamped from the device clock. Passing
+// nil detaches. Attachment is orthogonal to Config.DisableTelemetry so the
+// farm can record flight windows on shard devices whose metric registries
+// are attached (or not) separately.
+func (o *OS) SetFlightRecorder(rec *telemetry.Recorder) {
+	o.rec = rec
+	rec.SetClock(o.clock.Now)
+	o.router.SetFlightRecorder(rec)
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (o *OS) FlightRecorder() *telemetry.Recorder { return o.rec }
+
+// AttachTelemetry wires a metric registry (and optional tracer) into a
+// device booted without one — the snapshot/clone path shares one immutable
+// Config per template, so per-shard registries cannot ride in on Config.
+// Subsystem handles are re-cached and the state gauges (boot count, live
+// processes, instability) are brought current; counters start from zero at
+// attach time, which is exactly what a per-shard registry wants.
+func (o *OS) AttachTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	o.tel = reg
+	o.tracer = tracer
+	o.osm = newOSMetrics(reg)
+	o.router.SetTelemetry(reg)
+	o.buf.SetTelemetry(reg)
+	o.osm.bootCount.Set(float64(o.bootCount))
+	o.osm.liveProcs.Set(float64(o.procs.live()))
+	o.osm.instability.Set(o.sysSrv.Instability())
+}
+
 // BootCount returns how many times the device has booted (1 = initial
 // boot; each reboot increments it).
 func (o *OS) BootCount() int { return o.bootCount }
@@ -481,6 +514,16 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 	o.dispatchSeq++
 	result := o.deliver(in, kind, verb, sp)
 	sp.End()
+	if o.rec != nil {
+		// Static result names and intent-owned strings: the slot write
+		// allocates and formats nothing. Clean deliveries take the sampled
+		// clock stamp; anything else is failure-adjacent and stamped exactly.
+		if result == DeliveredNoEffect {
+			o.rec.Record(telemetry.EventDispatch, in.Component.Class, in.Action, result.String())
+		} else {
+			o.rec.RecordNow(telemetry.EventDispatch, in.Component.Class, in.Action, result.String())
+		}
+	}
 	o.dispatchPending[result]++
 	if o.dispatchSeq&(dispatchFlushEvery-1) == 0 {
 		o.flushDispatchCounters()
@@ -606,6 +649,7 @@ func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Com
 				return thr.Error() + " targeting " + in.Component.FlattenToString()
 			})
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
+		o.rec.RecordNow(telemetry.EventDenial, in.Component.Class, in.Action, "protected-action")
 		return nil, BlockedSecurity
 	}
 
@@ -622,6 +666,7 @@ func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Com
 				return "Unable to start service " + in.Component.FlattenToString() + ": not found"
 			})
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
+		o.rec.RecordNow(telemetry.EventDenial, in.Component.Class, in.Action, "not-found")
 		return nil, BlockedNotFound
 	}
 
@@ -634,6 +679,7 @@ func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Com
 				return thr.Error() + " targeting " + comp.Flat()
 			})
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
+		o.rec.RecordNow(telemetry.EventDenial, in.Component.Class, in.Action, "not-exported")
 		return nil, BlockedSecurity
 	}
 	if comp.Permission != "" && in.SenderUID != UIDSystem {
@@ -644,6 +690,7 @@ func (o *OS) gate(in *intent.Intent, kind manifest.ComponentType) (*manifest.Com
 				return thr.Error() + " targeting " + comp.Flat()
 			})
 		o.log.Log(1000, 1000, logcat.Warn, logcat.TagActivityManager, msg)
+		o.rec.RecordNow(telemetry.EventDenial, in.Component.Class, in.Action, "needs-permission")
 		return nil, BlockedSecurity
 	}
 	return comp, 0
@@ -680,6 +727,7 @@ func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits,
 			o.log.Block(proc.PID, proc.PID, logcat.Warn, proc.Name, out.Thrown.TraceLines())
 		}
 		o.sysSrv.RecordANR(proc.Name, tr.UsesSensorManager)
+		o.rec.RecordNow(telemetry.EventVerdict, proc.Name, comp.Flat(), "anr")
 		return DeliveredANR
 	}
 
@@ -735,6 +783,7 @@ func (o *OS) crashProcess(proc *Process, comp *manifest.Component, thr *javalang
 		ExceptionClass: thr.Root().Class,
 		Detail:         thr.Root().Error(),
 	})
+	o.rec.RecordNow(telemetry.EventVerdict, proc.Name, comp.Flat(), string(thr.Root().Class))
 }
 
 // reboot tears the device down and boots it again: every process dies, the
@@ -754,6 +803,7 @@ func (o *OS) reboot(reason string) {
 		Time: o.clock.Now(), Tag: TagSystemRestart,
 		Process: "system_server", Detail: reason,
 	})
+	o.rec.RecordNow(telemetry.EventReboot, "system_server", "", reason)
 	o.sysSrv.resetAfterBoot()
 	o.sensor.Restart(o.procs.allocPID())
 	o.lastDeliver = make(map[int]intent.ComponentName)

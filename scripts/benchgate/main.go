@@ -45,6 +45,7 @@ type result struct {
 var gates = map[string]*result{
 	"BenchmarkDispatchNoEffect":          {BaselineNs: 1845, BaselineAllocs: 18, CeilingNs: 700, CeilingAllocs: 0.1},
 	"BenchmarkDispatchNoTelemetry":       {BaselineNs: 1843, CeilingNs: 700, CeilingAllocs: 0.1},
+	"BenchmarkDispatchRecorder":          {BaselineNs: 1845, CeilingNs: 735, CeilingAllocs: 0.1},
 	"BenchmarkCampaignInstrumented":      {BaselineNs: 6777638, BaselineAllocs: 54226, CeilingNs: 2.3e6, CeilingAllocs: 1000},
 	"BenchmarkCampaignNoTelemetry":       {BaselineNs: 6970505, BaselineAllocs: 52861, CeilingNs: 2.1e6, CeilingAllocs: 800},
 	"BenchmarkTableI_CampaignGeneration": {BaselineNs: 814105, BaselineAllocs: 8798, CeilingNs: 7.2e5, CeilingAllocs: 5000},
@@ -68,6 +69,14 @@ var gates = map[string]*result{
 // atomic at current dispatch cost) still trips it.
 const dispatchDeltaCeiling = 0.08
 
+// recorderDeltaCeiling bounds DispatchRecorder/DispatchNoEffect - 1: the
+// flight recorder's cost on top of the fully-instrumented dispatch path.
+// Budget is <5% (one pooled ring-slot write per dispatch, clock stamp
+// sampled 1-in-16); measured ~3% min-of-5. The gate uses the same 5%
+// because the two benchmarks run back to back and share noise, unlike the
+// telemetry pair whose ceilings predate min-of-N.
+const recorderDeltaCeiling = 0.05
+
 // farmSpeedupFloor is the snapshot tentpole's acceptance bar: the same
 // eight-worker farm run must be at least this many times faster cloning
 // shard devices from a snapshot than booting each fresh. Measured min-of-3
@@ -84,6 +93,10 @@ type output struct {
 	// single-dispatch hot path.
 	DispatchTelemetryDelta        float64 `json:"dispatch_telemetry_delta"`
 	DispatchTelemetryDeltaCeiling float64 `json:"dispatch_telemetry_delta_ceiling"`
+	// DispatchRecorderDelta is recorder-on/recorder-off - 1 for the same
+	// path (the flight recorder's marginal cost).
+	DispatchRecorderDelta        float64 `json:"dispatch_recorder_delta"`
+	DispatchRecorderDeltaCeiling float64 `json:"dispatch_recorder_delta_ceiling"`
 	// FarmSnapshotSpeedup is FreshBoot ns/op over Snapshot ns/op for the
 	// eight-worker farm benchmark pair.
 	FarmSnapshotSpeedup      float64  `json:"farm_snapshot_speedup"`
@@ -114,6 +127,7 @@ func main() {
 		GOARCH:                        runtime.GOARCH,
 		Benchmarks:                    map[string]*result{},
 		DispatchTelemetryDeltaCeiling: dispatchDeltaCeiling,
+		DispatchRecorderDeltaCeiling:  recorderDeltaCeiling,
 		FarmSnapshotSpeedupFloor:      farmSpeedupFloor,
 		Pass:                          true,
 	}
@@ -147,6 +161,15 @@ func main() {
 		}
 	}
 
+	recOn, okR := parsed["BenchmarkDispatchRecorder"]
+	if okA && okR && inst.NsPerOp > 0 {
+		out.DispatchRecorderDelta = round4(recOn.NsPerOp/inst.NsPerOp - 1)
+		if out.DispatchRecorderDelta > recorderDeltaCeiling {
+			out.fail("dispatch recorder delta %.1f%% exceeds %.0f%%",
+				out.DispatchRecorderDelta*100, recorderDeltaCeiling*100)
+		}
+	}
+
 	snapRun, okS := parsed["BenchmarkFarm8Snapshot"]
 	freshRun, okF := parsed["BenchmarkFarm8FreshBoot"]
 	if okS && okF && snapRun.NsPerOp > 0 {
@@ -174,8 +197,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%; farm snapshot speedup %.2fx\n",
-		len(out.Benchmarks), out.DispatchTelemetryDelta*100, out.FarmSnapshotSpeedup)
+	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%; recorder delta %.1f%%; farm snapshot speedup %.2fx\n",
+		len(out.Benchmarks), out.DispatchTelemetryDelta*100, out.DispatchRecorderDelta*100, out.FarmSnapshotSpeedup)
 }
 
 func (o *output) fail(format string, args ...any) {

@@ -31,9 +31,35 @@ go test -race ./internal/farm/...
 # triage roll-up, non-zero-injection gate) works outside the unit-test
 # harness and that -snapshot stays out of the checkpoint fingerprint.
 ckpt="$(mktemp -t qgj-verify-XXXXXX.ckpt)"
-trap 'rm -f "$ckpt"' EXIT
+scrape_log="$(mktemp -t qgj-scrape-XXXXXX.log)"
+scrape_pid=""
+trap 'rm -f "$ckpt" "$scrape_log"; [ -n "$scrape_pid" ] && kill "$scrape_pid" 2>/dev/null || true' EXIT
 go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
     -workers 4 -checkpoint "$ckpt" -snapshot=off >/dev/null
 head -n 3 "$ckpt" > "$ckpt.torn" && mv "$ckpt.torn" "$ckpt"
 go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
     -workers 4 -checkpoint "$ckpt" -snapshot=on -resume >/dev/null
+
+# Live-scrape smoke: a lingering sharded run serves /metrics, /farm, and
+# /healthz on an ephemeral port; curl each while (or just after) the farm
+# runs. Asserts the observability surface works end to end — registry
+# exposition, farm-wide status board, health probe — not just in httptest.
+go run ./cmd/qgj -app com.heartwatch.wear -all -quick 8 -progress 0 \
+    -workers 4 -metrics-addr 127.0.0.1:0 -linger 5s >/dev/null 2>"$scrape_log" &
+scrape_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*telemetry on http://\([^/]*\)/metrics.*#\1#p' "$scrape_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: qgj never announced its metrics address" >&2; cat "$scrape_log" >&2; exit 1; }
+curl -fsS "http://$addr/healthz" | grep -q '^ok$'
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$addr/metrics" | grep -q '^farm_shards_total'; then break; fi
+    sleep 0.1
+done
+curl -fsS "http://$addr/metrics" | grep -q '^farm_shards_total'
+curl -fsS "http://$addr/farm" | grep -q '"shards"'
+wait "$scrape_pid"
+scrape_pid=""
