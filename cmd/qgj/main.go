@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/farm"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -57,8 +62,16 @@ func run(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
 	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
 	snapshotMode := fs.String("snapshot", "on", "farm mode: clone shard devices from a booted snapshot (on) or boot each fresh (off); results are identical")
+	worker := fs.String("worker", "", "worker mode: lease and execute shards from the farmd coordinator at this URL")
+	workerName := fs.String("worker-name", "", "worker mode: name reported in leases (default qgj-<pid>)")
+	exitIdle := fs.Bool("exit-idle", false, "worker mode: exit when the coordinator has no pending shards")
+	workerPoll := fs.Duration("poll", 500*time.Millisecond, "worker mode: idle backoff between empty lease polls")
+	throttle := fs.Duration("throttle", 0, "worker mode: sleep this long after each lease before executing (testing aid)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker != "" {
+		return runWorker(*worker, *workerName, *exitIdle, *workerPoll, *throttle)
 	}
 	if *snapshotMode != "on" && *snapshotMode != "off" {
 		return fmt.Errorf("-snapshot must be on or off, got %q", *snapshotMode)
@@ -173,6 +186,34 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "qgj: lingering %v for scrapes\n", *linger)
 		time.Sleep(*linger)
 	}
+	return nil
+}
+
+// runWorker joins a farmd coordinator as a networked farm worker: lease a
+// shard, verify the plan fingerprint, execute, upload, repeat. SIGINT or
+// SIGTERM drains — the in-flight shard is finished and uploaded (or, if
+// execution has not started, its lease is released back to the queue)
+// before the process exits; a worker killed outright instead stops
+// heartbeating and the coordinator's reaper re-queues its shard.
+func runWorker(coordinator, name string, exitIdle bool, poll, throttle time.Duration) error {
+	if name == "" {
+		name = fmt.Sprintf("qgj-%d", os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	stats, err := service.RunWorker(ctx, service.WorkerOptions{
+		Coordinator:  coordinator,
+		Name:         name,
+		Poll:         poll,
+		ExitWhenIdle: exitIdle,
+		Throttle:     throttle,
+		Log:          log.New(os.Stderr, "qgj-worker: ", 0),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qgj-worker: done — %d shards executed (%d intents), %d leases lost\n",
+		stats.Executed, stats.Intents, stats.Lost)
 	return nil
 }
 

@@ -107,10 +107,15 @@ func openJournalAppend(path string, validLen int64) (*journal, error) {
 // appendLine marshals v, appends it as one line, and fsyncs so the record
 // survives a SIGKILL (durability is the whole point of the journal).
 func (j *journal) appendLine(v any) error {
-	data, err := json.Marshal(v)
+	data, err := encodeJournalLine(v)
 	if err != nil {
-		return fmt.Errorf("farm: encode checkpoint record: %w", err)
+		return err
 	}
+	return j.appendRaw(data)
+}
+
+// appendRaw appends one pre-encoded record line (sans newline) and fsyncs.
+func (j *journal) appendRaw(data []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
@@ -120,6 +125,20 @@ func (j *journal) appendLine(v any) error {
 		return fmt.Errorf("farm: sync checkpoint: %w", err)
 	}
 	return nil
+}
+
+// encodeJournalLine renders one record in the journal's wire form.
+func encodeJournalLine(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("farm: encode checkpoint record: %w", err)
+	}
+	return data, nil
+}
+
+// decodeJournalLine parses one journal-form record.
+func decodeJournalLine(data []byte, v any) error {
+	return json.Unmarshal(data, v)
 }
 
 func (j *journal) Close() error {

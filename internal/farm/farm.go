@@ -200,34 +200,13 @@ func deviceConfig(kind apps.FleetKind) wearos.Config {
 
 // Run executes the farm: plan, resume, fan out, journal, merge, triage.
 func Run(cfg Config) (*Result, error) {
-	campaigns := cfg.Campaigns
-	if len(campaigns) == 0 {
-		campaigns = core.AllCampaigns
-	}
-	fleetKind := cfg.Fleet
-	if fleetKind == 0 {
-		fleetKind = apps.WearFleet
-	}
-	fleet, err := buildFleet(fleetKind, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	targets, err := selectTargets(fleet, cfg.Packages)
-	if err != nil {
-		return nil, err
-	}
-
 	// Canonical shard plan: campaign-major, fleet order within a campaign.
-	var plan []ShardKey
-	for _, c := range campaigns {
-		for _, p := range targets {
-			plan = append(plan, ShardKey{Campaign: c, Package: p.Name})
-		}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(plan) == 0 {
-		return nil, fmt.Errorf("farm: empty shard plan (no packages matched)")
-	}
-	fp := fingerprint(cfg.Seed, fleetKind.String(), plan, cfg.Gen)
+	campaigns, fleetKind, fleet := p.campaigns, p.kind, p.fleet
+	plan, fp := p.shards, p.fingerprint
 
 	met := newFarmMetrics(cfg.Telemetry)
 	workers := cfg.Sharding.NormalizedWorkers()
@@ -268,18 +247,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Per-package fuzzable-component counts feed the tail-aware scheduler's
-	// shard cost estimates.
-	comps := make(map[string]int, len(targets))
-	for _, p := range targets {
-		for _, c := range p.Components {
-			if c.Type == manifest.Activity || c.Type == manifest.Service {
-				comps[p.Name]++
-			}
-		}
-	}
-
-	if err := runPending(cfg, fleetKind, plan, comps, results, jnl, workers, met); err != nil {
+	// Per-package fuzzable-component counts (computed by NewPlan) feed the
+	// tail-aware scheduler's shard cost estimates.
+	if err := runPending(cfg, fleetKind, plan, p.comps, results, jnl, workers, met); err != nil {
 		return nil, err
 	}
 

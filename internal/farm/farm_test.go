@@ -2,6 +2,7 @@ package farm_test
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -334,6 +335,70 @@ func TestStatusBoardTracksRun(t *testing.T) {
 	}
 	if snap.Done != len(testPackages) || len(snap.Shards) != len(testPackages) {
 		t.Fatalf("served snapshot done=%d shards=%d", snap.Done, len(snap.Shards))
+	}
+}
+
+// TestStatusHandlerCampaignFilter: /farm?campaign=<letter> narrows the
+// board to one campaign's shards with recomputed tallies, and a letter
+// outside the plan answers 404 with a JSON error body.
+func TestStatusHandlerCampaignFilter(t *testing.T) {
+	board := farm.NewStatusBoard()
+	if _, err := farm.Run(farm.Config{
+		Seed:      1,
+		Campaigns: []core.Campaign{core.CampaignA, core.CampaignB},
+		Packages:  testPackages,
+		Gen:       testGen(),
+		Sharding:  core.Sharding{Workers: 2},
+		Status:    board,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(farm.StatusHandler(board))
+	defer srv.Close()
+
+	get := func(query string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Filtered view: only campaign B's shards, tallies recomputed.
+	resp, body := get("?campaign=b")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?campaign=b status = %d, body %s", resp.StatusCode, body)
+	}
+	var snap farm.StatusSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total != len(testPackages) || snap.Done != len(testPackages) {
+		t.Fatalf("filtered total=%d done=%d, want %d", snap.Total, snap.Done, len(testPackages))
+	}
+	for _, sh := range snap.Shards {
+		if sh.Key.Campaign.Letter() != "B" {
+			t.Fatalf("filtered view leaked shard %s", sh.Key)
+		}
+	}
+
+	// A campaign outside the plan: 404 with a JSON error body.
+	resp, body = get("?campaign=D")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("?campaign=D status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("404 Content-Type = %q, want JSON", ct)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody["error"] == "" {
+		t.Fatalf("404 body = %s (err %v), want {\"error\": ...}", body, err)
 	}
 }
 

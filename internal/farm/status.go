@@ -7,7 +7,9 @@ package farm
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -167,6 +169,47 @@ func (b *StatusBoard) markFailed(idx int) {
 	b.shards[idx].State = StateFailed
 }
 
+// markPending returns a shard to the queue — the service coordinator's
+// lease-reclamation path (a worker died holding the shard; its work is
+// discarded and the shard becomes grantable again).
+func (b *StatusBoard) markPending(idx int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx < 0 || idx >= len(b.shards) {
+		return
+	}
+	b.shards[idx] = ShardStatus{Key: b.shards[idx].Key, State: StatePending}
+}
+
+// Exported mark surface. farm.Run drives a board itself; the service
+// coordinator owns shard scheduling (leases instead of goroutines), so it
+// needs the same marks as first-class API. All are nil-safe like the
+// unexported forms.
+
+// Track (re)initializes the board for a shard plan — the exported form of
+// the reset farm.Run performs.
+func (b *StatusBoard) Track(plan []ShardKey, workers int) { b.reset(plan, workers) }
+
+// MarkPending returns a shard to the pending state (lease reclaimed).
+func (b *StatusBoard) MarkPending(idx int) { b.markPending(idx) }
+
+// MarkRunning records the shard being picked up after wait in queue.
+func (b *StatusBoard) MarkRunning(idx int, wait time.Duration) { b.markRunning(idx, wait) }
+
+// MarkDone records a completed shard.
+func (b *StatusBoard) MarkDone(idx, sent int, dur time.Duration, source string) {
+	b.markDone(idx, sent, dur, source)
+}
+
+// MarkResumed records a shard restored from the durable journal.
+func (b *StatusBoard) MarkResumed(idx, sent int) { b.markResumed(idx, sent) }
+
+// MarkFailed records a shard whose execution errored.
+func (b *StatusBoard) MarkFailed(idx int) { b.markFailed(idx) }
+
 // Status returns an aggregated snapshot of the board. The Shards slice is
 // a copy; callers may retain it.
 func (b *StatusBoard) Status() StatusSnapshot {
@@ -213,14 +256,78 @@ func (b *StatusBoard) Status() StatusSnapshot {
 	return snap
 }
 
+// FilterCampaign narrows the snapshot to the shards of one campaign
+// letter (case-insensitive). ok reports whether the plan contains that
+// campaign at all; when it does, the aggregate tallies (total, state
+// counts, intents, throughput, ETA) are recomputed over the filtered rows
+// so the view reads as a self-consistent per-campaign table.
+func (s StatusSnapshot) FilterCampaign(letter string) (StatusSnapshot, bool) {
+	want := strings.ToUpper(strings.TrimSpace(letter))
+	out := StatusSnapshot{Workers: s.Workers, ElapsedSeconds: s.ElapsedSeconds}
+	var execSeconds float64
+	execCount := 0
+	for _, sh := range s.Shards {
+		if sh.Key.Campaign.Letter() != want {
+			continue
+		}
+		out.Shards = append(out.Shards, sh)
+		out.Total++
+		switch sh.State {
+		case StatePending:
+			out.Pending++
+		case StateRunning:
+			out.Running++
+		case StateDone:
+			out.Done++
+			execSeconds += sh.Seconds
+			execCount++
+		case StateResumed:
+			out.Resumed++
+		case StateFailed:
+			out.Failed++
+		}
+		out.IntentsTotal += sh.Sent
+	}
+	if out.Total == 0 {
+		return out, false
+	}
+	if out.ElapsedSeconds > 0 {
+		out.IntentsPerSecond = float64(out.IntentsTotal) / out.ElapsedSeconds
+	}
+	if execCount > 0 {
+		workers := s.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		mean := execSeconds / float64(execCount)
+		out.ETASeconds = float64(out.Pending+out.Running) * mean / float64(workers)
+	}
+	return out, true
+}
+
 // StatusHandler serves the board as indented JSON — mount it on the
 // telemetry server as the /farm route. A nil board serves the zero
-// snapshot, so wiring can be unconditional.
+// snapshot, so wiring can be unconditional. A ?campaign=<letter> query
+// narrows the table to one campaign's shards; a letter the plan does not
+// contain answers 404 with a JSON error body.
 func StatusHandler(b *StatusBoard) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := b.Status()
+		if letter := r.URL.Query().Get("campaign"); letter != "" {
+			filtered, ok := snap.FilterCampaign(letter)
+			if !ok {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{
+					"error": fmt.Sprintf("unknown campaign %q: not in this run's shard plan", letter),
+				})
+				return
+			}
+			snap = filtered
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(b.Status())
+		enc.Encode(snap)
 	})
 }

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client speaks the coordinator's HTTP API — the worker loop and the farmd
+// CLI subcommands share it. Methods translate protocol status codes back
+// into the coordinator's sentinel errors (404 -> ErrNotFound, 410 ->
+// ErrLeaseGone, 409 -> ErrBadRecord/ErrNotComplete, 503 -> ErrShuttingDown),
+// so remote callers branch on the same errors in-process callers do.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://127.0.0.1:8787"). A nil http.Client gets a sane default with a
+// timeout suited to the lease protocol.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// apiError decodes the JSON error envelope and maps status to a sentinel.
+func apiError(status int, body []byte) error {
+	var eb errorBody
+	msg := ""
+	if json.Unmarshal(body, &eb) == nil {
+		msg = eb.Error
+	}
+	var base error
+	switch status {
+	case http.StatusNotFound:
+		base = ErrNotFound
+	case http.StatusGone:
+		base = ErrLeaseGone
+	case http.StatusConflict:
+		base = ErrBadRecord
+	case http.StatusServiceUnavailable:
+		base = ErrShuttingDown
+	}
+	if base != nil {
+		if msg != "" {
+			return fmt.Errorf("%w (%s)", base, msg)
+		}
+		return base
+	}
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return fmt.Errorf("service: http %d: %s", status, msg)
+}
+
+// do issues one request; out (when non-nil) receives the decoded 2xx body.
+// It returns the raw body and status for callers that need them.
+func (c *Client) do(method, path string, in, out any) ([]byte, int, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		return data, resp.StatusCode, apiError(resp.StatusCode, data)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(data, out); err != nil {
+			return data, resp.StatusCode, fmt.Errorf("service: decode response: %w", err)
+		}
+	}
+	return data, resp.StatusCode, nil
+}
+
+// Submit posts a campaign spec and returns the hosted campaign's info.
+func (c *Client) Submit(spec CampaignSpec) (CampaignInfo, error) {
+	var info CampaignInfo
+	_, _, err := c.do(http.MethodPost, "/api/v1/campaigns", spec, &info)
+	return info, err
+}
+
+// Campaigns lists hosted campaigns in submission order.
+func (c *Client) Campaigns() ([]CampaignInfo, error) {
+	var infos []CampaignInfo
+	_, _, err := c.do(http.MethodGet, "/api/v1/campaigns", nil, &infos)
+	return infos, err
+}
+
+// Campaign fetches one campaign's info.
+func (c *Client) Campaign(id string) (CampaignInfo, error) {
+	var info CampaignInfo
+	_, _, err := c.do(http.MethodGet, "/api/v1/campaigns/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Export fetches the canonical merged export bytes of a complete campaign.
+func (c *Client) Export(id string) ([]byte, error) {
+	data, _, err := c.do(http.MethodGet, "/api/v1/campaigns/"+url.PathEscape(id)+"/export", nil, nil)
+	return data, err
+}
+
+// Triage reads the incremental bucket stream after cursor; wait long-polls.
+func (c *Client) Triage(id string, cursor int, wait bool) (TriagePage, error) {
+	var page TriagePage
+	path := "/api/v1/campaigns/" + url.PathEscape(id) + "/triage?cursor=" + strconv.Itoa(cursor)
+	if wait {
+		path += "&wait=1"
+	}
+	_, _, err := c.do(http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Lease requests work. It returns (nil, nil) when the queue is empty — the
+// worker should back off and poll again.
+func (c *Client) Lease(worker string) (*LeaseGrant, error) {
+	var grant LeaseGrant
+	_, status, err := c.do(http.MethodPost, "/api/v1/leases", leaseRequest{Worker: worker}, &grant)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &grant, nil
+}
+
+// Heartbeat extends a lease; ErrLeaseGone means the shard was reclaimed.
+func (c *Client) Heartbeat(leaseID string) error {
+	_, _, err := c.do(http.MethodPost, "/api/v1/leases/"+url.PathEscape(leaseID)+"/heartbeat", struct{}{}, nil)
+	return err
+}
+
+// Release returns the lease's shard to the queue.
+func (c *Client) Release(leaseID string) error {
+	_, _, err := c.do(http.MethodPost, "/api/v1/leases/"+url.PathEscape(leaseID)+"/release", struct{}{}, nil)
+	return err
+}
+
+// Complete uploads an encoded shard record under the lease.
+func (c *Client) Complete(leaseID, fingerprint string, record []byte) error {
+	up := resultUpload{Fingerprint: fingerprint, Record: json.RawMessage(record)}
+	_, _, err := c.do(http.MethodPost, "/api/v1/leases/"+url.PathEscape(leaseID)+"/result", up, nil)
+	return err
+}

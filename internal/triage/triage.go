@@ -175,8 +175,15 @@ func Bucketize(crashes []*Crash) *Result {
 	for _, h := range order {
 		out.Buckets = append(out.Buckets, *byHash[h])
 	}
-	sort.SliceStable(out.Buckets, func(i, j int) bool {
-		bi, bj := &out.Buckets[i], &out.Buckets[j]
+	sortBuckets(out.Buckets)
+	return out
+}
+
+// sortBuckets orders buckets most-frequent first with deterministic
+// tie-breaks (class, frame, hash) — shared by Bucketize and Stream.Snapshot.
+func sortBuckets(buckets []Bucket) {
+	sort.SliceStable(buckets, func(i, j int) bool {
+		bi, bj := &buckets[i], &buckets[j]
 		if bi.Count != bj.Count {
 			return bi.Count > bj.Count
 		}
@@ -188,7 +195,6 @@ func Bucketize(crashes []*Crash) *Result {
 		}
 		return bi.Hash < bj.Hash
 	})
-	return out
 }
 
 // block is one in-flight FATAL EXCEPTION reassembly.

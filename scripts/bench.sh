@@ -3,7 +3,7 @@
 # farm.
 #
 # Runs the hot-path benchmark suite plus the farm snapshot/fresh-boot pair
-# and the device shard-boot microbenchmarks, emits BENCH_5.json
+# and the device shard-boot microbenchmarks, emits BENCH_7.json
 # (machine-readable current numbers next to the frozen pre-optimization
 # baselines), and fails if any gated benchmark regresses past its ceiling
 # or the farm's snapshot speedup drops under its 2x floor. The ceilings are
@@ -17,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_7.json}"
 raw="$(mktemp -t qgj-bench-XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -45,6 +45,11 @@ go test -run '^$' -bench 'Farm8Snapshot|Farm8FreshBoot' \
     -benchmem -benchtime=1s -count=3 ./internal/farm | tee -a "$raw"
 go test -run '^$' -bench 'ShardBootFresh|ShardBootClone' \
     -benchmem -benchtime=1s -count=3 ./internal/wearos | tee -a "$raw"
+
+# The farm-service queue pair: the in-memory lease cycle and the durable
+# (fsynced) result upload round trip.
+go test -run '^$' -bench 'QueueLeaseCycle|QueueResultRoundTrip' \
+    -benchmem -benchtime=1s -count=3 ./internal/service | tee -a "$raw"
 
 go run ./scripts/benchgate -input "$raw" -output "$out"
 echo "wrote $out"

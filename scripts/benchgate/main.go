@@ -1,6 +1,6 @@
 // Command benchgate parses `go test -bench` output, compares the hot-path
 // benchmarks against the frozen pre-optimization baseline and the
-// regression ceilings, writes the machine-readable BENCH_5.json artifact,
+// regression ceilings, writes the machine-readable BENCH_7.json artifact,
 // and exits non-zero if any gated number is over its ceiling or the farm's
 // snapshot speedup drops under its floor.
 //
@@ -60,6 +60,16 @@ var gates = map[string]*result{
 	"BenchmarkFarm8FreshBoot": {BaselineNs: 1.551e8, BaselineAllocs: 171484, CeilingNs: 2.6e8, CeilingAllocs: 260000},
 	"BenchmarkShardBootFresh": {BaselineNs: 2.38e6, CeilingNs: 4.5e6, CeilingAllocs: 100},
 	"BenchmarkShardBootClone": {BaselineNs: 2.38e6, BaselineAllocs: 46, CeilingNs: 6.0e4, CeilingAllocs: 100},
+
+	// Farm-service queue gates (PR 7). Baselines are the numbers measured
+	// when the coordinator landed: the lease cycle (grant + heartbeat +
+	// release) is pure in-memory queue bookkeeping and must stay in the
+	// microsecond range; the result round trip includes record validation
+	// and the fsynced journal append, so its ceiling carries wide headroom
+	// for disk variance while still catching an accidental re-plan or
+	// decode/re-encode on the upload path.
+	"BenchmarkQueueLeaseCycle":      {BaselineNs: 1220, BaselineAllocs: 6, CeilingNs: 6.0e3, CeilingAllocs: 20},
+	"BenchmarkQueueResultRoundTrip": {BaselineNs: 267550, BaselineAllocs: 155, CeilingNs: 1.5e6, CeilingAllocs: 500},
 }
 
 // dispatchDeltaCeiling bounds DispatchNoEffect/DispatchNoTelemetry - 1.
@@ -107,7 +117,7 @@ type output struct {
 
 func main() {
 	input := flag.String("input", "", "raw `go test -bench` output file")
-	outPath := flag.String("output", "BENCH_5.json", "JSON artifact path")
+	outPath := flag.String("output", "BENCH_7.json", "JSON artifact path")
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")

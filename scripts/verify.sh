@@ -63,3 +63,78 @@ curl -fsS "http://$addr/metrics" | grep -q '^farm_shards_total'
 curl -fsS "http://$addr/farm" | grep -q '"shards"'
 wait "$scrape_pid"
 scrape_pid=""
+
+# Distributed farm-service smoke: coordinator + networked workers over real
+# HTTP and real processes. A victim worker takes a lease and is SIGKILLed
+# while provably holding it (-throttle parks it between lease and
+# execution); two live workers drain the queue, the reaper reclaims the
+# victim's shard after the 2s TTL, and the merged export must be
+# byte-identical to an in-process run of the same spec. Also asserts the
+# /farm campaign filter's JSON 404, the service lease metrics, worker drain
+# on SIGTERM, and the coordinator's graceful SIGTERM shutdown.
+# Binaries are built first: `go run` wrappers would orphan the child on
+# SIGKILL and the victim must die mid-lease for real.
+bindir="$(mktemp -d -t qgj-svc-bin-XXXXXX)"
+svcdata="$(mktemp -d -t farmd-data-XXXXXX)"
+svclog="$(mktemp -t farmd-log-XXXXXX.log)"
+victimlog="$(mktemp -t farmd-victim-XXXXXX.log)"
+farmd_pid=""; victim_pid=""; w1_pid=""; w2_pid=""
+trap 'rm -rf "$ckpt" "$scrape_log" "$bindir" "$svcdata" "$svclog" "$victimlog"
+      for p in $scrape_pid $farmd_pid $victim_pid $w1_pid $w2_pid; do kill "$p" 2>/dev/null || true; done' EXIT
+
+go build -o "$bindir/farmd" ./cmd/farmd
+go build -o "$bindir/qgj" ./cmd/qgj
+
+"$bindir/farmd" serve -addr 127.0.0.1:0 -data "$svcdata" -lease-ttl 2s 2>"$svclog" &
+farmd_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's#.*serving on http://\([^ ]*\) .*#http://\1#p' "$svclog")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "verify: farmd never announced its address" >&2; cat "$svclog" >&2; exit 1; }
+
+svc_spec="-app com.heartwatch.wear,com.strava.wear -campaigns AB -quick 8"
+id="$("$bindir/farmd" submit -addr "$base" $svc_spec)"
+
+# The victim leases the largest shard and parks; kill it once the lease is
+# provably held (its log announces the grant).
+"$bindir/qgj" -worker "$base" -worker-name victim -throttle 60s 2>"$victimlog" &
+victim_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'lease l' "$victimlog" && break
+    sleep 0.1
+done
+grep -q 'lease l' "$victimlog"
+"$bindir/qgj" -worker "$base" -worker-name w1 -poll 100ms 2>/dev/null &
+w1_pid=$!
+"$bindir/qgj" -worker "$base" -worker-name w2 -poll 100ms 2>/dev/null &
+w2_pid=$!
+kill -9 "$victim_pid" && wait "$victim_pid" 2>/dev/null || true
+victim_pid=""
+
+"$bindir/farmd" wait -addr "$base" -id "$id" -quiet
+"$bindir/farmd" export -addr "$base" -id "$id" -o "$svcdata/distributed.json"
+
+# Workers drain cleanly on SIGTERM (exit 0, leases released not expired).
+kill -TERM "$w1_pid" "$w2_pid"
+wait "$w1_pid"; wait "$w2_pid"
+w1_pid=""; w2_pid=""
+
+# The byte-identical-merge invariant across the wire, kill included.
+"$bindir/farmd" local $svc_spec -workers 2 -o "$svcdata/serial.json"
+cmp "$svcdata/distributed.json" "$svcdata/serial.json"
+
+# /farm board per campaign, JSON 404 for unknown IDs, lease-expiry metrics.
+curl -fsS "$base/farm?campaign=$id" | grep -q '"shards"'
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$base/farm?campaign=bogus")" = "404" ]
+curl -s "$base/farm?campaign=bogus" | grep -q '"error"'
+curl -fsS "$base/metrics" | grep -q '^service_leases_expired_total [1-9]'
+curl -fsS "$base/api/v1/campaigns/$id/metrics" | grep -q '^campaign_shards_done_total 4'
+
+# Coordinator drains on SIGTERM: journals flushed, clean exit.
+kill -TERM "$farmd_pid"
+wait "$farmd_pid"
+farmd_pid=""
+grep -q 'drained' "$svclog"
