@@ -15,6 +15,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/intent"
 	"repro/internal/logcat"
 	"repro/internal/manifest"
@@ -202,6 +203,21 @@ func BenchmarkDispatchNoTelemetry(b *testing.B) {
 func BenchmarkDispatchRecorder(b *testing.B) {
 	benchmarkDispatch(b, wearos.DefaultWatchConfig(), func(dev *wearos.OS) {
 		dev.SetFlightRecorder(telemetry.NewRecorder(0))
+	})
+}
+
+// BenchmarkDispatchFaultHooks is the default delivery with a fault-injection
+// engine attached whose next window never opens — campaign F's hot path for
+// every dispatch outside a fault window. Comparing against
+// BenchmarkDispatchNoEffect bounds the dormant hook overhead; the budget is
+// <5% (docs/faults.md).
+func BenchmarkDispatchFaultHooks(b *testing.B) {
+	benchmarkDispatch(b, wearos.DefaultWatchConfig(), func(dev *wearos.OS) {
+		plan := &faultinject.Plan{Seed: 1, Budget: 1 << 40, Windows: []faultinject.Window{
+			{Kind: faultinject.BinderDead, Start: 1 << 39, End: 1<<39 + 4, Recover: true},
+		}}
+		eng := faultinject.NewEngine(dev, plan, "com.bench")
+		dev.SetFaultHooks(wearos.FaultHooks{Pre: eng.Pre, Post: eng.Post})
 	})
 }
 

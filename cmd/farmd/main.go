@@ -80,14 +80,18 @@ func serve(args []string) error {
 	addr := fs.String("addr", ":8787", "listen address for the campaign API and telemetry")
 	dataDir := fs.String("data", "", "durable queue directory (campaign sidecars + journals); empty = in-memory")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease lifetime between worker heartbeats")
+	retain := fs.Int("retain", 0, "keep only the last N completed campaigns hosted; older ones archive to <data>/done/ (0 = keep all)")
+	maxUploads := fs.Int("max-pending-uploads", 0, "bound on shard uploads in the fsync pipeline before 429 backpressure (0 = default 64, negative = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg := telemetry.NewRegistry()
 	coord, err := service.NewCoordinator(service.Options{
-		DataDir:   *dataDir,
-		LeaseTTL:  *leaseTTL,
-		Telemetry: reg,
+		DataDir:           *dataDir,
+		LeaseTTL:          *leaseTTL,
+		Retain:            *retain,
+		MaxPendingUploads: *maxUploads,
+		Telemetry:         reg,
 	})
 	if err != nil {
 		return err
@@ -123,7 +127,7 @@ func serve(args []string) error {
 func specFlags(fs *flag.FlagSet) func() service.CampaignSpec {
 	seed := fs.Uint64("seed", 1, "fleet and fuzzer seed")
 	fleet := fs.String("fleet", "wear", "app population: wear, phone, or legacy-phone")
-	campaigns := fs.String("campaigns", "", "campaign letters to run (subset of ABCD; empty = all)")
+	campaigns := fs.String("campaigns", "", "campaign letters to run (subset of ABCD, plus F for fault injection; empty = all of A-D)")
 	app := fs.String("app", "", "comma-separated package allowlist (empty = whole fleet)")
 	quick := fs.Int("quick", 0, "scale factor k (>0 shrinks campaigns; 0 = full paper scale)")
 	noSnapshot := fs.Bool("no-snapshot", false, "workers boot each shard fresh instead of cloning a snapshot")

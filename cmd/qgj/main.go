@@ -34,6 +34,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/experiments"
 	"repro/internal/farm"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -51,7 +52,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "fleet and fuzzer seed")
 	list := fs.Bool("list", false, "list fuzzable components on the wearable")
 	app := fs.String("app", "", "target package on the wearable")
-	campaign := fs.String("campaign", "A", "fuzz intent campaign (A-D)")
+	campaign := fs.String("campaign", "A", "fuzz intent campaign (A-D, or F for OS fault injection)")
 	all := fs.Bool("all", false, "run all four campaigns against -app")
 	quick := fs.Int("quick", 0, "scale factor k (>0 shrinks campaigns; 0 = full scale)")
 	logDump := fs.Bool("logcat", false, "dump the wearable's logcat after fuzzing")
@@ -297,8 +298,13 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 	}
 	fmt.Printf("farm: %d shards, %d workers, %d intents\n", res.Shards, res.Workers, res.Sent)
 	if res.Triage != nil {
-		fmt.Printf("triage: %d unique failure signatures (%d raw crashes, %d ANRs)\n",
-			res.Triage.Unique(), res.Triage.Crashes-res.Triage.ANRs, res.Triage.ANRs)
+		faults := ""
+		if res.Triage.Faults > 0 {
+			faults = fmt.Sprintf(", %d fault verdicts", res.Triage.Faults)
+		}
+		fmt.Printf("triage: %d unique failure signatures (%d raw crashes, %d ANRs%s)\n",
+			res.Triage.Unique(), res.Triage.Crashes-res.Triage.ANRs-res.Triage.Faults,
+			res.Triage.ANRs, faults)
 		for _, b := range res.Triage.Buckets {
 			min := ""
 			if b.Minimized != nil {
@@ -311,6 +317,14 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 				flight = fmt.Sprintf(" flight=%d events (trace %s)", len(b.Exemplar.Flight), b.Exemplar.Trace)
 			}
 			fmt.Printf("  %016x ×%-4d %s at %s%s%s\n", b.Hash, b.Count, b.Class, b.Frame, min, flight)
+		}
+		if rows := experiments.FaultResilienceFromTriage(res.Triage); len(rows) > 0 {
+			fmt.Println("fault resilience (graceful-degradation score per fault × app):")
+			for _, r := range rows {
+				fmt.Printf("  %-16s %-28s windows=%-3d score=%.2f (recovered=%d stall=%d silent=%d failed=%d)\n",
+					r.Fault, r.App, r.Windows, r.Score,
+					r.Degraded, r.Stalls, r.SilentDrops, r.FailedRecoveries)
+			}
 		}
 	}
 	if linger > 0 {

@@ -122,7 +122,11 @@ func run(args []string) error {
 			wear.Sent, wear.Reboots(), time.Since(start).Round(time.Millisecond))
 		if wear.Triage != nil {
 			fmt.Printf("[wear triage: %d unique failure signatures / %d raw crashes / %d ANRs]\n\n",
-				wear.Triage.Unique(), wear.Triage.Crashes-wear.Triage.ANRs, wear.Triage.ANRs)
+				wear.Triage.Unique(), wear.Triage.Crashes-wear.Triage.ANRs-wear.Triage.Faults,
+				wear.Triage.ANRs)
+			if rows := experiments.FaultResilience(wear); len(rows) > 0 {
+				fmt.Println(report.FaultTable(rows))
+			}
 		}
 	}
 	if sel("tab2") {

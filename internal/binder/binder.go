@@ -42,6 +42,11 @@ type Router struct {
 	// rec receives a structured event per dead-object transaction — the
 	// binder leg of the flight-recorder trail (nil = no-op).
 	rec *telemetry.Recorder
+	// fault, when set, is consulted on every transaction; a non-nil
+	// Throwable fails the transaction without reaching the endpoint. The
+	// fault-injection engine installs it for the duration of a binder fault
+	// window; nil (the normal state) costs one predicate check.
+	fault func(name string) *javalang.Throwable
 }
 
 // NewRouter returns an empty router.
@@ -125,6 +130,16 @@ func (r *Router) SetFlightRecorder(rec *telemetry.Recorder) {
 	r.rec = rec
 }
 
+// SetFault installs (or, with nil, lifts) a transaction fault predicate:
+// every Transact consults it and fails with the returned Throwable without
+// reaching the endpoint. Used by fault-injection windows to model flaky
+// binder transports (DEAD_OBJECT, TRANSACTION_TOO_LARGE, timeouts).
+func (r *Router) SetFault(fault func(name string) *javalang.Throwable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fault = fault
+}
+
 // Transact delivers a synchronous transaction to the named endpoint.
 // Transactions against unknown endpoints or dead owners fail with
 // DeadObjectException, exactly the error apps observe when a remote process
@@ -137,8 +152,16 @@ func (r *Router) Transact(name string, code int, data any) (any, *javalang.Throw
 	if ok {
 		ownerAlive = r.alive[ep.OwnerPID]
 	}
+	fault := r.fault
 	r.txCount++
 	r.mu.Unlock()
+	if fault != nil {
+		if thr := fault(name); thr != nil {
+			r.txDead.Inc()
+			r.rec.RecordNow(telemetry.EventBinder, name, "", "fault:"+thr.Class.Simple())
+			return nil, thr
+		}
+	}
 	if !ok || !ownerAlive {
 		r.txDead.Inc()
 		r.rec.RecordNow(telemetry.EventBinder, name, "", "dead-object")

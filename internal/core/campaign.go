@@ -29,6 +29,14 @@ const (
 	// CampaignD "Random Extras": a valid {Action, Data} pair plus 1-5 Extra
 	// fields with random values. |Action| x variants per component (~250K).
 	CampaignD
+	// CampaignF "Fault Injection" extends the paper's severity scale below
+	// the app layer: a stream of well-formed intents keeps each component
+	// busy while internal/faultinject perturbs the OS underneath it (binder
+	// failures, sensor stalls, killed services, storage errors) on a seeded
+	// schedule. |Action| per component — the workload is deliberately small
+	// and valid-leaning so observed failures are attributable to the
+	// injected faults, not the intents.
+	CampaignF
 )
 
 // AllCampaigns lists the campaigns in execution order ("All 4 campaigns are
@@ -46,6 +54,8 @@ func (c Campaign) Name() string {
 		return "C: Random Action or Data"
 	case CampaignD:
 		return "D: Random Extras"
+	case CampaignF:
+		return "F: Fault Injection"
 	default:
 		return "unknown"
 	}
@@ -62,6 +72,8 @@ func (c Campaign) Letter() string {
 		return "C"
 	case CampaignD:
 		return "D"
+	case CampaignF:
+		return "F"
 	default:
 		return "?"
 	}
@@ -79,6 +91,8 @@ func ParseCampaign(s string) (Campaign, error) {
 		return CampaignC, nil
 	case "D", "d":
 		return CampaignD, nil
+	case "F", "f":
+		return CampaignF, nil
 	default:
 		return 0, fmt.Errorf("core: unknown campaign %q", s)
 	}
@@ -162,6 +176,8 @@ func (c Campaign) CountPerComponent(cfg GeneratorConfig) int {
 		return (nA + nS) * cfg.RandomVariants
 	case CampaignD:
 		return nA * cfg.ExtrasVariants
+	case CampaignF:
+		return nA
 	default:
 		return 0
 	}
@@ -281,6 +297,19 @@ func (c Campaign) Generate(target intent.ComponentName, cfg GeneratorConfig, sen
 				}
 				emit(in)
 			}
+		}
+	case CampaignF:
+		// Well-formed traffic for the fault campaign: every catalog action,
+		// with a scheme the action legitimately accepts when one exists.
+		// Failures under FIC F come from the injected OS faults, so the
+		// intents themselves stay as benign as the generator can make them.
+		for _, a := range actions {
+			in := base()
+			in.Action = a
+			if s, ok := validSchemeFor(a, schemes); ok {
+				in.Data = intent.SampleData(s)
+			}
+			emit(in)
 		}
 	}
 }

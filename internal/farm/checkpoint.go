@@ -63,6 +63,14 @@ func fingerprint(seed uint64, fleet string, shards []ShardKey, gen core.Generato
 	fmt.Fprintf(h, "v%d|seed=%d|fleet=%s|gen=%d,%d,%d,%d|", journalVersion, seed, fleet,
 		gen.ActionStride, gen.SchemeStride, gen.RandomVariants, gen.ExtrasVariants)
 	for _, k := range shards {
+		if k.Campaign == core.CampaignF {
+			// Fault shards fold the fault-engine schedule version in: a
+			// journal written under a different fault model must not resume.
+			fmt.Fprintf(h, "fault=v1|")
+			break
+		}
+	}
+	for _, k := range shards {
 		fmt.Fprintf(h, "%s;", k.String())
 	}
 	return h.Sum64()

@@ -180,6 +180,7 @@ type crashJSON struct {
 	Component string            `json:"component,omitempty"`
 	Classes   []string          `json:"classes,omitempty"`
 	Frames    []string          `json:"frames,omitempty"`
+	Fault     string            `json:"fault,omitempty"`
 	Intent    *intentJSON       `json:"intent,omitempty"`
 	Trace     string            `json:"trace,omitempty"`
 	Flight    []telemetry.Event `json:"flight,omitempty"`
@@ -194,6 +195,7 @@ func exportCrashes(crashes []*triage.Crash) []crashJSON {
 			Component: c.Component,
 			Classes:   c.Classes,
 			Frames:    c.Frames,
+			Fault:     c.Fault,
 			Intent:    exportIntent(c.Intent),
 			Trace:     c.Trace,
 			Flight:    c.Flight,
@@ -211,6 +213,7 @@ func restoreCrashes(cjs []crashJSON) []*triage.Crash {
 			Component: cj.Component,
 			Classes:   cj.Classes,
 			Frames:    cj.Frames,
+			Fault:     cj.Fault,
 			Intent:    cj.Intent.restore(),
 			Trace:     cj.Trace,
 			Flight:    cj.Flight,

@@ -32,6 +32,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/intent"
 	"repro/internal/manifest"
 	"repro/internal/rng"
@@ -129,16 +130,16 @@ type Result struct {
 // farmMetrics caches the engine's metric handles (all nil-safe no-ops when
 // Config.Telemetry is nil).
 type farmMetrics struct {
-	shardsTotal  *telemetry.Gauge
-	inflight     *telemetry.Gauge
-	workers      *telemetry.Gauge
-	done         *telemetry.Counter
-	resumed      *telemetry.Counter
-	intents      *telemetry.Counter
-	shardSeconds *telemetry.Histogram
-	mergeSeconds *telemetry.Histogram
-	crashesRaw   *telemetry.Gauge
-	crashBuckets *telemetry.Gauge
+	shardsTotal    *telemetry.Gauge
+	inflight       *telemetry.Gauge
+	workers        *telemetry.Gauge
+	done           *telemetry.Counter
+	resumed        *telemetry.Counter
+	intents        *telemetry.Counter
+	shardSeconds   *telemetry.Histogram
+	mergeSeconds   *telemetry.Histogram
+	crashesRaw     *telemetry.Gauge
+	crashBuckets   *telemetry.Gauge
 	snapHits       *telemetry.Counter
 	snapMisses     *telemetry.Counter
 	cloneSeconds   *telemetry.Histogram
@@ -148,16 +149,16 @@ type farmMetrics struct {
 
 func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
 	return farmMetrics{
-		shardsTotal:  reg.Gauge("farm_shards_total"),
-		inflight:     reg.Gauge("farm_shards_inflight"),
-		workers:      reg.Gauge("farm_workers"),
-		done:         reg.Counter("farm_shards_done_total"),
-		resumed:      reg.Counter("farm_shards_resumed_total"),
-		intents:      reg.Counter("farm_intents_total"),
-		shardSeconds: reg.Histogram("farm_shard_seconds", telemetry.DefLatencyBuckets),
-		mergeSeconds: reg.Histogram("farm_merge_seconds", telemetry.DefLatencyBuckets),
-		crashesRaw:   reg.Gauge("farm_crashes_raw"),
-		crashBuckets: reg.Gauge("farm_crash_buckets"),
+		shardsTotal:    reg.Gauge("farm_shards_total"),
+		inflight:       reg.Gauge("farm_shards_inflight"),
+		workers:        reg.Gauge("farm_workers"),
+		done:           reg.Counter("farm_shards_done_total"),
+		resumed:        reg.Counter("farm_shards_resumed_total"),
+		intents:        reg.Counter("farm_intents_total"),
+		shardSeconds:   reg.Histogram("farm_shard_seconds", telemetry.DefLatencyBuckets),
+		mergeSeconds:   reg.Histogram("farm_merge_seconds", telemetry.DefLatencyBuckets),
+		crashesRaw:     reg.Gauge("farm_crashes_raw"),
+		crashBuckets:   reg.Gauge("farm_crash_buckets"),
 		snapHits:       reg.Counter("farm_snapshot_hits_total"),
 		snapMisses:     reg.Counter("farm_snapshot_misses_total"),
 		cloneSeconds:   reg.Histogram("farm_clone_seconds", telemetry.DefLatencyBuckets),
@@ -510,6 +511,18 @@ func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*
 	gen := cfg.Gen
 	gen.Seed = rng.New(cfg.Seed).Split("farm-shard-" + key.String()).Uint64()
 	inj := &core.Injector{Dev: dev, Cfg: gen}
+
+	// Fault shards (FIC F) attach the fault-injection engine after boot (the
+	// engine publishes a binder probe endpoint, which snapshotting forbids on
+	// templates). The fault seed is its own split of the study seed, so the
+	// schedule is independent of execution order and worker count, and the
+	// window budget is the shard's exact expected dispatch count.
+	var eng *faultinject.Engine
+	if key.Campaign == core.CampaignF {
+		budget := key.Campaign.CountPerComponent(gen) * fuzzableComponents(pkg)
+		fseed := rng.New(cfg.Seed).Split("fault-" + key.String()).Uint64()
+		eng = faultinject.NewEngine(dev, faultinject.NewPlan(fseed, budget), key.Package)
+	}
 	if tri != nil {
 		inj.Observe = func(in *intent.Intent, res wearos.DeliveryResult) {
 			if res == wearos.DeliveredCrash || res == wearos.DeliveredANR {
@@ -519,9 +532,22 @@ func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*
 				tri.AttachIntent(in)
 				tri.AttachFlight(rec.Trace(), rec.Window())
 			}
+			if eng != nil && eng.TakeVerdict() {
+				// A fault window just closed and its VERDICT line finalized a
+				// fault record; pair it with the in-flight intent (the
+				// workload coordinate) and the recorder window (which holds
+				// the fault begin/probe/verdict event trail).
+				tri.AttachIntent(in)
+				tri.AttachFlight(rec.Trace(), rec.Window())
+			}
 		}
 	}
 	run := inj.FuzzApp(key.Campaign, pkg)
+	if eng != nil {
+		// A window still open at campaign end is graded now, so its verdict
+		// lands in this shard's collectors before results are snapshotted.
+		eng.Finish()
+	}
 
 	sr := &ShardResult{
 		Key:        key,
@@ -593,6 +619,12 @@ func triageCrashes(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, results [
 // zero-value farmMetrics so triage does not pollute the shard-level
 // hit/clone telemetry.
 func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triage.Bucket) {
+	// Only exception-style failures minimize: a fault verdict is caused by
+	// the injected fault window, not the intent in flight, so shrinking that
+	// intent on a fault-free oracle device can never reproduce the bucket.
+	if b.Kind != triage.KindCrash && b.Kind != triage.KindANR && b.Kind != "" {
+		return
+	}
 	exemplar := b.Exemplar
 	if exemplar == nil || exemplar.Intent == nil {
 		return
@@ -639,6 +671,19 @@ func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triag
 		b.Reproduced = true
 		b.Minimized = min
 	}
+}
+
+// fuzzableComponents counts the package's Activities and Services — the
+// component set FuzzApp iterates, and therefore the exact dispatch budget
+// multiplier for a fault shard's window schedule.
+func fuzzableComponents(pkg *manifest.Package) int {
+	n := 0
+	for _, c := range pkg.Components {
+		if c.Type == manifest.Activity || c.Type == manifest.Service {
+			n++
+		}
+	}
+	return n
 }
 
 // componentType looks up the component's manifest type in the fleet.

@@ -1,0 +1,127 @@
+package farm_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/service"
+	"repro/internal/triage"
+)
+
+// runFaultFarm executes a campaign-F run over the test packages.
+func runFaultFarm(t *testing.T, sharding core.Sharding) *farm.Result {
+	t.Helper()
+	res, err := farm.Run(farm.Config{
+		Seed:      1,
+		Campaigns: []core.Campaign{core.CampaignF},
+		Packages:  testPackages,
+		Gen:       testGen(),
+		Sharding:  sharding,
+	})
+	if err != nil {
+		t.Fatalf("fault farm: %v", err)
+	}
+	return res
+}
+
+// faultExport renders the canonical merged export with execution metadata
+// blanked, the byte-identity the determinism contract promises.
+func faultExport(t *testing.T, res *farm.Result) string {
+	t.Helper()
+	res.Workers = 0
+	res.Resumed = 0
+	data, err := service.ExportResult(res, 1)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return string(data)
+}
+
+func TestFaultCampaignWorkerInvariance(t *testing.T) {
+	serial := runFaultFarm(t, core.Sharding{Workers: 1})
+	want := faultExport(t, serial)
+	if serial.Sent == 0 {
+		t.Fatal("fault campaign sent nothing")
+	}
+	if serial.Triage == nil || serial.Triage.Faults == 0 {
+		t.Fatal("fault campaign graded no windows")
+	}
+	kinds := map[string]bool{}
+	for _, b := range serial.Triage.Buckets {
+		if b.Kind == triage.KindCrash || b.Kind == triage.KindANR || b.Kind == "" {
+			continue
+		}
+		kinds[b.Class] = true // fault buckets carry the injected kind in Class
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("fault buckets cover %d kinds (%v), want >= 4", len(kinds), kinds)
+	}
+
+	for _, workers := range []int{4, 8} {
+		res := runFaultFarm(t, core.Sharding{Workers: workers})
+		if got := faultExport(t, res); got != want {
+			t.Errorf("workers=%d fault export differs from workers=1", workers)
+		}
+	}
+}
+
+func TestFaultCampaignResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	killed := filepath.Join(dir, "killed.ckpt")
+
+	uninterrupted := runFaultFarm(t, core.Sharding{Workers: 2, Checkpoint: full})
+	want := faultExport(t, uninterrupted)
+
+	// Simulate a SIGKILL mid-run: keep the header plus one completed shard
+	// and a torn partial record.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:2], "\n") + "\n" + `{"index":1,"key":{"camp`
+	if err := os.WriteFile(killed, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := runFaultFarm(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true})
+	if resumed.Resumed != 1 {
+		t.Fatalf("resumed = %d shards, want 1", resumed.Resumed)
+	}
+	if got := faultExport(t, resumed); got != want {
+		t.Errorf("resumed fault run differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestFaultJournalFingerprintGate: a journal written by a fault run must not
+// resume under a different fault-model-relevant seed.
+func TestFaultJournalFingerprintGate(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fault.ckpt")
+	if _, err := farm.Run(farm.Config{
+		Seed:      1,
+		Campaigns: []core.Campaign{core.CampaignF},
+		Packages:  testPackages[:1],
+		Gen:       testGen(),
+		Sharding:  core.Sharding{Workers: 1, Checkpoint: ckpt},
+	}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	_, err := farm.Run(farm.Config{
+		Seed:      2,
+		Campaigns: []core.Campaign{core.CampaignF},
+		Packages:  testPackages[:1],
+		Gen:       testGen(),
+		Sharding:  core.Sharding{Workers: 1, Checkpoint: ckpt, Resume: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+}

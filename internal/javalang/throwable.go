@@ -48,6 +48,7 @@ const (
 	ClassIO         Class = "java.io.IOException"
 	ClassRemote     Class = "android.os.RemoteException"
 	ClassDeadObject Class = "android.os.DeadObjectException"
+	ClassTxTooLarge Class = "android.os.TransactionTooLargeException"
 
 	ClassActivityNotFound Class = "android.content.ActivityNotFoundException"
 	ClassBadParcelable    Class = "android.os.BadParcelableException"
@@ -84,6 +85,7 @@ var parentOf = map[Class]Class{
 	ClassIO:         ClassException,
 	ClassRemote:     ClassException,
 	ClassDeadObject: ClassRemote,
+	ClassTxTooLarge: ClassRemote,
 
 	ClassActivityNotFound: ClassRuntime,
 	ClassBadParcelable:    ClassRuntime,

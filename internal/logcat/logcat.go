@@ -250,6 +250,8 @@ const (
 	TagBoot            = "boot"
 	TagMonkey          = "Monkey"
 	TagGoogleFit       = "GoogleFit"
+	TagDropBox         = "DropBoxManagerService"
+	TagFaultInject     = "FaultInject"
 )
 
 // Sink receives entries as they are appended; the streaming analyzer and

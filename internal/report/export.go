@@ -36,6 +36,21 @@ type StudyExport struct {
 	Sharding *ShardingExport `json:"sharding,omitempty"`
 	// Triage lists deduplicated crash signatures (farm runs only).
 	Triage *TriageExport `json:"triage,omitempty"`
+	// FaultResilience is the graded fault-injection table (FIC F runs only):
+	// one row per (fault kind, app) with a graceful-degradation score.
+	FaultResilience []FaultResilienceExportRow `json:"faultResilience,omitempty"`
+}
+
+// FaultResilienceExportRow serializes one fault-resilience row.
+type FaultResilienceExportRow struct {
+	Fault            string  `json:"fault"`
+	App              string  `json:"app"`
+	Windows          int     `json:"windows"`
+	Degraded         int     `json:"degradedRecovered,omitempty"`
+	Stalls           int     `json:"stalls,omitempty"`
+	SilentDrops      int     `json:"silentDrops,omitempty"`
+	FailedRecoveries int     `json:"failedRecoveries,omitempty"`
+	Score            float64 `json:"score"`
 }
 
 // ShardingExport describes the farm execution of a study.
@@ -50,6 +65,7 @@ type ShardingExport struct {
 type TriageExport struct {
 	RawCrashes int                  `json:"rawCrashes"`
 	RawANRs    int                  `json:"rawANRs,omitempty"`
+	RawFaults  int                  `json:"rawFaultVerdicts,omitempty"`
 	Unique     int                  `json:"uniqueSignatures"`
 	Buckets    []TriageBucketExport `json:"buckets"`
 }
@@ -144,6 +160,7 @@ func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
 		out.Triage = &TriageExport{
 			RawCrashes: sr.Triage.Crashes,
 			RawANRs:    sr.Triage.ANRs,
+			RawFaults:  sr.Triage.Faults,
 			Unique:     sr.Triage.Unique(),
 		}
 		for _, b := range sr.Triage.Buckets {
@@ -218,6 +235,14 @@ func ExportStudy(sr *experiments.StudyResult, seed uint64) StudyExport {
 	}
 	for _, cn := range experiments.RebootComponents(sr) {
 		out.Reboot = append(out.Reboot, cn.FlattenToString())
+	}
+	for _, r := range experiments.FaultResilience(sr) {
+		out.FaultResilience = append(out.FaultResilience, FaultResilienceExportRow{
+			Fault: r.Fault, App: r.App, Windows: r.Windows,
+			Degraded: r.Degraded, Stalls: r.Stalls,
+			SilentDrops: r.SilentDrops, FailedRecoveries: r.FailedRecoveries,
+			Score: r.Score,
+		})
 	}
 	return out
 }

@@ -61,6 +61,34 @@ const (
 	ServiceAborted              // killed by SIGABRT, not yet restarted
 )
 
+// FaultMode selects an injected degradation of the sensor service, used by
+// the fault-injection campaigns (internal/faultinject). FaultNone is normal
+// operation.
+type FaultMode int
+
+const (
+	// FaultNone: normal operation.
+	FaultNone FaultMode = iota
+	// FaultStall: the service stops answering — reads and registrations
+	// time out the way a wedged native service does.
+	FaultStall
+	// FaultStale: reads succeed but the service replays the last sample it
+	// delivered instead of a fresh one (a silently frozen stream).
+	FaultStale
+)
+
+// String names the fault mode.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultStall:
+		return "stall"
+	case FaultStale:
+		return "stale"
+	default:
+		return "none"
+	}
+}
+
 // Service is the native sensor service. It owns listener registrations and
 // is a single point of failure: when it dies, every registered client loses
 // sensor access and the system becomes unstable.
@@ -73,6 +101,13 @@ type Service struct {
 	// onAbort notifies the system server that a core native service died;
 	// wired by the OS at boot.
 	onAbort func(signal string)
+
+	fault FaultMode
+	// last remembers the freshest sample per sensor so FaultStale can
+	// replay it; stalled/stale count how often a fault manifested.
+	last    map[Type]float64
+	stalled uint64
+	stale   uint64
 }
 
 // NewService returns a running sensor service with the given native PID.
@@ -107,6 +142,41 @@ func (s *Service) OnAbort(fn func(signal string)) {
 	s.onAbort = fn
 }
 
+// SetFaultMode installs (or, with FaultNone, lifts) an injected fault. The
+// transition is logged so the fault window is visible in logcat.
+func (s *Service) SetFaultMode(m FaultMode) {
+	s.mu.Lock()
+	prev := s.fault
+	s.fault = m
+	pid := s.pid
+	s.mu.Unlock()
+	if prev == m {
+		return
+	}
+	if m == FaultNone {
+		s.log.Log(pid, pid, logcat.Info, logcat.TagSensorService,
+			"sensorservice recovered from injected %s fault", prev)
+		return
+	}
+	s.log.Log(pid, pid, logcat.Warn, logcat.TagSensorService,
+		"sensorservice entering injected %s fault", m)
+}
+
+// FaultMode returns the active injected fault.
+func (s *Service) FaultMode() FaultMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fault
+}
+
+// FaultStats reports how many reads stalled and how many returned stale
+// samples since boot — the fault engine's silent-degradation evidence.
+func (s *Service) FaultStats() (stalled, stale uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalled, s.stale
+}
+
 // Register adds a listener for client on the sensor. It fails with
 // DeadObjectException when the service is down.
 func (s *Service) Register(client string, t Type) *javalang.Throwable {
@@ -114,6 +184,12 @@ func (s *Service) Register(client string, t Type) *javalang.Throwable {
 	if s.state != ServiceRunning {
 		s.mu.Unlock()
 		return javalang.Newf(javalang.ClassDeadObject, "sensorservice dead; cannot register %s", t)
+	}
+	if s.fault == FaultStall {
+		s.stalled++
+		s.mu.Unlock()
+		return javalang.Newf(javalang.ClassRemote,
+			"sensorservice not responding; register %s timed out after 5000ms", t)
 	}
 	s.listeners[client] = append(s.listeners[client], t)
 	s.mu.Unlock()
@@ -156,17 +232,39 @@ func (s *Service) Read(client string, t Type) (float64, *javalang.Throwable) {
 		return 0, javalang.Newf(javalang.ClassIllegalState,
 			"no listener registered for %s (client=%s)", t, client)
 	}
+	if s.fault == FaultStall {
+		s.stalled++
+		return 0, javalang.Newf(javalang.ClassRemote,
+			"sensorservice not responding; read %s timed out after 5000ms", t)
+	}
+	if s.fault == FaultStale {
+		// Replay the freshest delivered sample — the caller sees success
+		// and a plausible value, never a new one.
+		s.stale++
+		if s.last == nil {
+			s.last = make(map[Type]float64)
+		}
+		if v, ok := s.last[t]; ok {
+			return v, nil
+		}
+	}
 	// Synthetic but plausible readings; values are irrelevant to the study.
+	var v float64
 	switch t {
 	case HeartRate:
-		return 72, nil
+		v = 72
 	case StepCounter:
-		return 4211, nil
+		v = 4211
 	case AmbientLight:
-		return 180, nil
+		v = 180
 	default:
-		return 0.5, nil
+		v = 0.5
 	}
+	if s.last == nil {
+		s.last = make(map[Type]float64)
+	}
+	s.last[t] = v
+	return v, nil
 }
 
 // Abort kills the service with the given signal (the system sends SIGABRT
@@ -192,13 +290,34 @@ func (s *Service) Abort(signal string) {
 	}
 }
 
-// Restart brings the service back after a reboot, with a new PID.
+// Kill terminates the service process without going through the watchdog:
+// an external SIGKILL (the fault injector's service-kill window) arrives
+// unannounced, so no system-server callback fires — whoever killed the
+// service is expected to bring it back via Restart.
+func (s *Service) Kill(signal string) {
+	s.mu.Lock()
+	if s.state == ServiceAborted {
+		s.mu.Unlock()
+		return
+	}
+	s.state = ServiceAborted
+	pid := s.pid
+	s.mu.Unlock()
+	s.log.Log(pid, pid, logcat.Warn, logcat.TagSensorService,
+		"sensorservice (pid %d) killed by signal %s", pid, signal)
+}
+
+// Restart brings the service back after a reboot, with a new PID. A fresh
+// process carries no injected fault and no replay cache; the fault counters
+// stay monotonic so observers can diff across restarts.
 func (s *Service) Restart(pid int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.state = ServiceRunning
 	s.pid = pid
 	s.listeners = make(map[string][]Type)
+	s.fault = FaultNone
+	s.last = nil
 }
 
 // Manager is the framework-side SensorManager bound to one client app

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,11 +15,59 @@ import (
 // Client speaks the coordinator's HTTP API — the worker loop and the farmd
 // CLI subcommands share it. Methods translate protocol status codes back
 // into the coordinator's sentinel errors (404 -> ErrNotFound, 410 ->
-// ErrLeaseGone, 409 -> ErrBadRecord/ErrNotComplete, 503 -> ErrShuttingDown),
-// so remote callers branch on the same errors in-process callers do.
+// ErrLeaseGone, 409 -> ErrBadRecord/ErrNotComplete, 429 -> ErrThrottled,
+// 503 -> ErrShuttingDown), so remote callers branch on the same errors
+// in-process callers do.
+//
+// Transient failures retry transparently with exponential backoff and
+// jitter: transport errors (connection refused, reset, timeout), 5xx
+// responses other than 503, and 429 throttling (honoring the Retry-After
+// header). 503 is the coordinator's drain signal and is never retried —
+// a draining coordinator wants its workers to exit, not to hammer it.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	// sleep and jitter are test seams; production uses time.Sleep and
+	// rand.Float64.
+	sleep  func(time.Duration)
+	jitter func() float64
+}
+
+// RetryPolicy bounds the client's transparent retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 5; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// backoff is the delay before retry number n (0-based): base·2ⁿ capped at
+// MaxDelay, jittered uniformly over [d/2, d] so a restarted coordinator is
+// not met by all its workers in lockstep.
+func (p RetryPolicy) backoff(n int, jitter func() float64) time.Duration {
+	d := p.BaseDelay << n
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(jitter()*float64(d)/2)
 }
 
 // NewClient returns a client for the coordinator at base (e.g.
@@ -28,7 +77,19 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = &http.Client{Timeout: 5 * time.Minute}
 	}
-	return &Client{base: base, hc: hc}
+	return &Client{
+		base:   base,
+		hc:     hc,
+		retry:  RetryPolicy{}.withDefaults(),
+		sleep:  time.Sleep,
+		jitter: rand.Float64,
+	}
+}
+
+// WithRetry overrides the client's retry policy and returns the client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p.withDefaults()
+	return c
 }
 
 // apiError decodes the JSON error envelope and maps status to a sentinel.
@@ -46,6 +107,8 @@ func apiError(status int, body []byte) error {
 		base = ErrLeaseGone
 	case http.StatusConflict:
 		base = ErrBadRecord
+	case http.StatusTooManyRequests:
+		base = ErrThrottled
 	case http.StatusServiceUnavailable:
 		base = ErrShuttingDown
 	}
@@ -61,42 +124,92 @@ func apiError(status int, body []byte) error {
 	return fmt.Errorf("service: http %d: %s", status, msg)
 }
 
-// do issues one request; out (when non-nil) receives the decoded 2xx body.
-// It returns the raw body and status for callers that need them.
+// do issues one request with transparent retries; out (when non-nil)
+// receives the decoded 2xx body. It returns the raw body and status for
+// callers that need them.
 func (c *Client) do(method, path string, in, out any) ([]byte, int, error) {
+	var data []byte
+	var status int
+	var retryAfter time.Duration
+	var err error
+	for attempt := 0; ; attempt++ {
+		data, status, retryAfter, err = c.once(method, path, in, out)
+		if !retryableFailure(status, err) || attempt+1 >= c.retry.MaxAttempts {
+			return data, status, err
+		}
+		// A Retry-After hint from the coordinator (429 backpressure)
+		// overrides the exponential schedule — the server knows its own
+		// fsync budget better than our guess does.
+		wait := retryAfter
+		if wait <= 0 {
+			wait = c.retry.backoff(attempt, c.jitter)
+		}
+		c.sleep(wait)
+	}
+}
+
+// retryableFailure reports whether a request outcome is worth retrying:
+// transport errors (status 0) and transient server-side failures. 503 is
+// the drain signal — retrying it would keep a worker alive exactly when
+// the coordinator asked it to go away — and 4xx other than 429 are
+// protocol outcomes, not failures.
+func retryableFailure(status int, err error) bool {
+	if err == nil {
+		return false
+	}
+	switch status {
+	case 0: // transport: connection refused, reset, timeout
+		return true
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// once issues a single HTTP exchange. retryAfter carries the parsed
+// Retry-After header (seconds form) when the server sent one.
+func (c *Client) once(method, path string, in, out any) ([]byte, int, time.Duration, error) {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, resp.StatusCode, err
+		return nil, resp.StatusCode, retryAfter, err
 	}
 	if resp.StatusCode >= 400 {
-		return data, resp.StatusCode, apiError(resp.StatusCode, data)
+		return data, resp.StatusCode, retryAfter, apiError(resp.StatusCode, data)
 	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.Unmarshal(data, out); err != nil {
-			return data, resp.StatusCode, fmt.Errorf("service: decode response: %w", err)
+			return data, resp.StatusCode, retryAfter, fmt.Errorf("service: decode response: %w", err)
 		}
 	}
-	return data, resp.StatusCode, nil
+	return data, resp.StatusCode, retryAfter, nil
 }
 
 // Submit posts a campaign spec and returns the hosted campaign's info.

@@ -33,6 +33,11 @@ var (
 	ErrNotFound = errors.New("service: unknown campaign")
 	// ErrNotComplete means the export was requested before the merge.
 	ErrNotComplete = errors.New("service: campaign is not complete")
+	// ErrThrottled means the coordinator's pending-upload queue is full —
+	// uploads are arriving faster than the journal can fsync them. The
+	// HTTP layer answers 429 with a Retry-After hint; the client's retry
+	// loop honors it transparently.
+	ErrThrottled = errors.New("service: upload queue is full, retry later")
 )
 
 // Options configures a Coordinator.
@@ -48,6 +53,17 @@ type Options struct {
 	// Telemetry receives the service-level metrics; nil creates a private
 	// registry (reachable via Coordinator.Telemetry).
 	Telemetry *telemetry.Registry
+	// MaxPendingUploads bounds how many shard uploads may sit in the
+	// journal's fsync pipeline at once. When workers outrun the fsync
+	// budget, further uploads answer ErrThrottled (HTTP 429 + Retry-After)
+	// instead of queueing unboundedly. Default 64; negative disables the
+	// bound.
+	MaxPendingUploads int
+	// Retain keeps only the last Retain completed campaigns hosted in
+	// memory; older ones are archived — their spec sidecar and journal
+	// move to DataDir/done/ and they list with state "archived". 0 keeps
+	// everything.
+	Retain int
 	// Clock overrides time.Now for lease-expiry tests.
 	Clock func() time.Time
 }
@@ -58,6 +74,10 @@ const (
 	CampaignMerging  = "merging"
 	CampaignComplete = "complete"
 	CampaignFailed   = "failed"
+	// CampaignArchived marks a completed campaign evicted by the retention
+	// window: its journal and sidecar live in DataDir/done/ and only its
+	// listing survives in memory.
+	CampaignArchived = "archived"
 )
 
 // CampaignInfo is the public view of one hosted campaign.
@@ -157,6 +177,8 @@ type svcMetrics struct {
 	results       *telemetry.Counter
 	resultsDup    *telemetry.Counter
 	resultsRej    *telemetry.Counter
+	throttled     *telemetry.Counter
+	archived      *telemetry.Counter
 }
 
 func newSvcMetrics(reg *telemetry.Registry) svcMetrics {
@@ -170,6 +192,8 @@ func newSvcMetrics(reg *telemetry.Registry) svcMetrics {
 		results:       reg.Counter("service_results_total"),
 		resultsDup:    reg.Counter("service_results_duplicate_total"),
 		resultsRej:    reg.Counter("service_results_rejected_total"),
+		throttled:     reg.Counter("service_uploads_throttled_total"),
+		archived:      reg.Counter("service_campaigns_archived_total"),
 	}
 }
 
@@ -189,6 +213,12 @@ type Coordinator struct {
 	seq       int
 	leaseSeq  uint64
 	shutdown  bool
+	// pendingUploads counts Complete calls currently in the decode +
+	// journal-fsync pipeline; the backpressure bound caps it.
+	pendingUploads int
+	// archived lists evicted campaigns (retention), newest last. Only
+	// their identity survives; the artifacts live in DataDir/done/.
+	archived []CampaignInfo
 
 	reaperStop chan struct{}
 	merges     sync.WaitGroup
@@ -200,6 +230,9 @@ type Coordinator struct {
 func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.MaxPendingUploads == 0 {
+		opts.MaxPendingUploads = 64
 	}
 	reg := opts.Telemetry
 	if reg == nil {
@@ -289,6 +322,9 @@ func (c *Coordinator) journalFile(id string) string {
 	return filepath.Join(c.opts.DataDir, id+".ckpt")
 }
 
+// doneDir is where archived campaign artifacts move.
+func (c *Coordinator) doneDir() string { return filepath.Join(c.opts.DataDir, "done") }
+
 // specSidecar is the durable submission record next to the journal.
 type specSidecar struct {
 	ID      string       `json:"id"`
@@ -325,7 +361,83 @@ func (c *Coordinator) restore() error {
 			c.seq = n
 		}
 	}
+	// Archived campaigns keep their listing across restarts: each eviction
+	// left an info snapshot in done/.
+	if doneEntries, err := os.ReadDir(c.doneDir()); err == nil {
+		for _, e := range doneEntries {
+			if !strings.HasSuffix(e.Name(), ".info.json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(c.doneDir(), e.Name()))
+			if err != nil {
+				continue
+			}
+			var info CampaignInfo
+			if json.Unmarshal(data, &info) != nil || info.ID == "" {
+				continue
+			}
+			info.State = CampaignArchived
+			c.archived = append(c.archived, info)
+			if n := parseSeq(info.ID); n >= c.seq {
+				c.seq = n
+			}
+		}
+		sort.Slice(c.archived, func(i, j int) bool {
+			return c.archived[i].Created.Before(c.archived[j].Created)
+		})
+	}
 	return nil
+}
+
+// enforceRetain archives completed campaigns beyond the retention window,
+// oldest first. No-op when Options.Retain is 0 (keep everything).
+func (c *Coordinator) enforceRetain() {
+	if c.opts.Retain <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var complete []*campaign
+	for _, id := range c.order {
+		camp := c.campaigns[id]
+		if camp.result != nil || camp.mergeErr != nil {
+			complete = append(complete, camp)
+		}
+	}
+	for len(complete) > c.opts.Retain {
+		c.archiveLocked(complete[0])
+		complete = complete[1:]
+	}
+}
+
+// archiveLocked evicts one completed campaign: its journal is closed, the
+// sidecar/journal pair moves to DataDir/done/ alongside an info snapshot,
+// and only its listing stays in memory. Callers hold c.mu.
+func (c *Coordinator) archiveLocked(camp *campaign) {
+	info := c.infoLocked(camp)
+	info.State = CampaignArchived
+	if camp.journal != nil {
+		camp.journal.Close()
+		camp.journal = nil
+	}
+	if c.opts.DataDir != "" {
+		if err := os.MkdirAll(c.doneDir(), 0o755); err == nil {
+			os.Rename(c.specFile(camp.id), filepath.Join(c.doneDir(), camp.id+".spec.json"))
+			os.Rename(c.journalFile(camp.id), filepath.Join(c.doneDir(), camp.id+".ckpt"))
+			if data, err := json.MarshalIndent(info, "", "  "); err == nil {
+				os.WriteFile(filepath.Join(c.doneDir(), camp.id+".info.json"), append(data, '\n'), 0o644)
+			}
+		}
+	}
+	delete(c.campaigns, camp.id)
+	for i, id := range c.order {
+		if id == camp.id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.archived = append(c.archived, info)
+	c.met.archived.Inc()
 }
 
 // parseSeq extracts the numeric sequence from a campaign ID ("c7-..." -> 7).
@@ -493,11 +605,13 @@ func (c *Coordinator) infoLocked(camp *campaign) CampaignInfo {
 	return inf
 }
 
-// Campaigns lists hosted campaigns in submission order.
+// Campaigns lists hosted campaigns in submission order, archived evictions
+// first (oldest campaigns lead either way).
 func (c *Coordinator) Campaigns() []CampaignInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]CampaignInfo, 0, len(c.order))
+	out := make([]CampaignInfo, 0, len(c.archived)+len(c.order))
+	out = append(out, c.archived...)
 	for _, id := range c.order {
 		out = append(out, c.infoLocked(c.campaigns[id]))
 	}
@@ -636,6 +750,24 @@ func (c *Coordinator) Release(leaseID string) error {
 // triggers the canonical merge in the background.
 func (c *Coordinator) Complete(leaseID string, fingerprint string, record []byte) error {
 	now := c.now()
+	// Backpressure gate, before any lease-state mutation: if the fsync
+	// pipeline is saturated the upload is refused outright and the lease is
+	// untouched, so the worker can retry the identical request after
+	// Retry-After without any protocol consequence.
+	c.mu.Lock()
+	if c.opts.MaxPendingUploads > 0 && c.pendingUploads >= c.opts.MaxPendingUploads {
+		c.met.throttled.Inc()
+		c.mu.Unlock()
+		return ErrThrottled
+	}
+	c.pendingUploads++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.pendingUploads--
+		c.mu.Unlock()
+	}()
+
 	idx, sr, err := farm.DecodeShardRecord(record)
 	if err != nil {
 		c.met.resultsRej.Inc()
@@ -720,6 +852,7 @@ func (c *Coordinator) finalize(camp *campaign) {
 	c.mu.Unlock()
 	camp.stream.Close()
 	close(camp.finished)
+	c.enforceRetain()
 }
 
 // Export returns the canonical merged export of a complete campaign. It

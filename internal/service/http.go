@@ -26,7 +26,7 @@ import (
 //	POST /api/v1/leases                   request work {worker}       -> 200 LeaseGrant | 204 (no work) | 503 (draining)
 //	POST /api/v1/leases/{id}/heartbeat    extend lease                -> 200 {expires} | 410 (reclaimed)
 //	POST /api/v1/leases/{id}/release      return shard to queue       -> 204 | 410
-//	POST /api/v1/leases/{id}/result       upload shard record         -> 204 | 409 (mismatch) | 410
+//	POST /api/v1/leases/{id}/result       upload shard record         -> 204 | 409 (mismatch) | 410 | 429 (+Retry-After)
 //
 // The service routes compose with the telemetry server: Routes returns
 // telemetry.Route entries for telemetry.Serve, so farmd's one listener
@@ -86,6 +86,12 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusGone, err)
 	case errors.Is(err, ErrBadRecord), errors.Is(err, ErrNotComplete):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrThrottled):
+		// Backpressure: tell the uploader when to come back. The hint is
+		// deliberately short — the fsync pipeline drains in well under a
+		// second; the client's jittered backoff spreads the herd.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:

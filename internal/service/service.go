@@ -49,7 +49,8 @@ type CampaignSpec struct {
 	// Fleet selects the population: "wear" (default), "phone", or
 	// "legacy-phone" (the intent-campaign fleets the farm supports).
 	Fleet string `json:"fleet,omitempty"`
-	// Campaigns is a subset of "ABCD" (e.g. "AC"); empty means all four.
+	// Campaigns is a subset of "ABCDF" (e.g. "AC", or "F" for the fault
+	// injection campaign); empty means the paper's four (A-D).
 	Campaigns string `json:"campaigns,omitempty"`
 	// Packages restricts the run to the named packages; empty fuzzes the
 	// whole fleet.

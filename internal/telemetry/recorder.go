@@ -25,6 +25,10 @@ const (
 	EventVerdict
 	// EventBinder: a binder transaction failed against a dead process.
 	EventBinder
+	// EventFault: a fault-injection window opened or closed, or a probe
+	// inside one observed degradation; Detail carries the fault phase
+	// ("begin", "end", probe outcome, or the window's verdict).
+	EventFault
 )
 
 // String names the event kind.
@@ -42,6 +46,8 @@ func (k EventKind) String() string {
 		return "verdict"
 	case EventBinder:
 		return "binder"
+	case EventFault:
+		return "fault"
 	default:
 		return "unknown"
 	}
@@ -59,7 +65,7 @@ func (k *EventKind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for c := EventIntent; c <= EventBinder; c++ {
+	for c := EventIntent; c <= EventFault; c++ {
 		if c.String() == s {
 			*k = c
 			return nil

@@ -22,10 +22,23 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Failure record kinds (Crash.Kind).
+// Failure record kinds (Crash.Kind). The fault kinds are the graded
+// verdicts of the fault-injection campaign (FIC F); their values must match
+// internal/faultinject's verdict strings, which arrive here through the
+// FaultInject VERDICT logcat line.
 const (
 	KindCrash = "crash"
 	KindANR   = "anr"
+	// KindStall: a fault window manifested as timeouts/hangs.
+	KindStall = "stall"
+	// KindSilentDrop: no error surfaced but data was lost or frozen.
+	KindSilentDrop = "silent-drop"
+	// KindFailedRecovery: the subsystem stayed unhealthy after the fault
+	// window ended.
+	KindFailedRecovery = "failed-recovery"
+	// KindDegraded: the subsystem failed visibly during the window and
+	// recovered after it — graceful degradation.
+	KindDegraded = "degraded-recovered"
 )
 
 // Crash is one reassembled failure record: a FATAL EXCEPTION occurrence or
@@ -49,6 +62,9 @@ type Crash struct {
 	// normalized to "pkg.Class.method" (file/line stripped: line numbers
 	// shift between builds, the frame identity does not).
 	Frames []string
+	// Fault is the injected fault kind behind a fault-verdict record
+	// ("binder-dead", "sensor-stall", ...); empty for crashes and ANRs.
+	Fault string
 	// Intent, when non-nil, is the injected intent that produced this crash
 	// (attached by the injector's Observe hook; reproducer for the
 	// minimizer).
@@ -63,6 +79,16 @@ type Crash struct {
 
 // IsANR reports whether the record is an ANR rather than a crash.
 func (c *Crash) IsANR() bool { return c.Kind == KindANR }
+
+// IsFault reports whether the record is a graded fault-injection verdict
+// rather than an exception-style failure.
+func (c *Crash) IsFault() bool {
+	switch c.Kind {
+	case KindStall, KindSilentDrop, KindFailedRecovery, KindDegraded:
+		return true
+	}
+	return false
+}
 
 // RootClass returns the root-cause exception class ("" for an empty record).
 func (c *Crash) RootClass() string {
@@ -86,13 +112,23 @@ func (c *Crash) RootFrame() string {
 // root frame bucket together regardless of message text, wrapper
 // exceptions, or which component crashed. ANRs have no stack; they hash
 // over the "anr" sentinel and the wedged component, so each component that
-// ANRs gets its own bucket. Crash hashes are unchanged by ANR support.
+// ANRs gets its own bucket. Fault verdicts hash over (verdict, fault, app),
+// so each (fault, app) pair buckets per graded outcome. Crash and ANR
+// hashes are unchanged by fault support.
 func (c *Crash) Hash() uint64 {
 	h := fnv.New64a()
 	if c.IsANR() {
 		_, _ = h.Write([]byte(KindANR))
 		_, _ = h.Write([]byte{0})
 		_, _ = h.Write([]byte(c.Component))
+		return h.Sum64()
+	}
+	if c.IsFault() {
+		_, _ = h.Write([]byte(c.Kind))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(c.Fault))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(c.Process))
 		return h.Sum64()
 	}
 	_, _ = h.Write([]byte(c.RootClass()))
@@ -126,10 +162,13 @@ type Bucket struct {
 // Result is the outcome of a triage pass over a campaign's failures.
 type Result struct {
 	// Crashes is the raw failure record count — FATAL EXCEPTION events plus
-	// ANRs — so Unique() <= Crashes always holds.
+	// ANRs plus fault verdicts — so Unique() <= Crashes always holds.
 	Crashes int
 	// ANRs is how many of those records are ANRs.
 	ANRs int
+	// Faults is how many of those records are graded fault-injection
+	// verdicts (FIC F).
+	Faults int
 	// Buckets are the unique signatures, most frequent first (class, frame,
 	// hash break ties deterministically).
 	Buckets []Bucket
@@ -150,10 +189,13 @@ func (r *Result) Unique() int {
 func Bucketize(crashes []*Crash) *Result {
 	byHash := make(map[uint64]*Bucket)
 	var order []uint64
-	anrs := 0
+	anrs, faults := 0, 0
 	for _, c := range crashes {
 		if c.IsANR() {
 			anrs++
+		}
+		if c.IsFault() {
+			faults++
 		}
 		h := c.Hash()
 		b, ok := byHash[h]
@@ -161,6 +203,12 @@ func Bucketize(crashes []*Crash) *Result {
 			b = &Bucket{Hash: h, Kind: c.Kind, Class: c.RootClass(), Frame: c.RootFrame(), Exemplar: c}
 			if c.IsANR() {
 				b.Class, b.Frame = "ANR", c.Component
+			}
+			if c.IsFault() {
+				// Fault buckets have no stack either: show the injected fault
+				// kind where crashes show the exception class, and the app
+				// the verdict was graded against where crashes show a frame.
+				b.Class, b.Frame = c.Fault, c.Process
 			}
 			byHash[h] = b
 			order = append(order, h)
@@ -171,7 +219,7 @@ func Bucketize(crashes []*Crash) *Result {
 			b.Exemplar = c
 		}
 	}
-	out := &Result{Crashes: len(crashes), ANRs: anrs}
+	out := &Result{Crashes: len(crashes), ANRs: anrs, Faults: faults}
 	for _, h := range order {
 		out.Buckets = append(out.Buckets, *byHash[h])
 	}
@@ -278,7 +326,44 @@ func (c *Collector) Consume(e logcat.Entry) {
 		case strings.HasPrefix(e.Message, "ANR in "):
 			c.consumeANR(e.Message)
 		}
+	case logcat.TagFaultInject:
+		if strings.HasPrefix(e.Message, "VERDICT ") {
+			c.consumeFaultVerdict(e.Message)
+		}
 	}
+}
+
+// consumeFaultVerdict parses the fault engine's graded-outcome line
+// ("VERDICT verdict=<v> fault=<k> target=<t> app=<pkg> window=<a>-<b>
+// probes=<f>/<n>") into a finalized fault record. Like ANRs these are
+// single-line and complete (attachable) immediately.
+func (c *Collector) consumeFaultVerdict(msg string) {
+	var verdict, fault, target, app string
+	for _, f := range strings.Fields(msg) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "verdict":
+			verdict = v
+		case "fault":
+			fault = v
+		case "target":
+			target = v
+		case "app":
+			app = v
+		}
+	}
+	if verdict == "" || fault == "" {
+		return
+	}
+	rec := &Crash{Kind: verdict, Fault: fault, Process: app, Component: target}
+	if !rec.IsFault() {
+		return
+	}
+	c.crashes = append(c.crashes, rec)
+	c.last = rec
 }
 
 // consumeANR turns an "ANR in <proc> (<component>)" line into a finalized

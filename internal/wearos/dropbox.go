@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/intent"
 	"repro/internal/javalang"
+	"repro/internal/logcat"
 )
 
 // DropBox is Android's persistent store of crash/ANR records
@@ -53,6 +54,22 @@ func (d *dropBox) add(e DropBoxEntry) {
 	if len(d.entries) > d.limit {
 		d.entries = d.entries[len(d.entries)-d.limit:]
 	}
+}
+
+// persistDropBox writes an entry through the injected-storage-fault check:
+// a fault drops the record (the bounded store never sees it) and logs the
+// I/O error the way DropBoxManagerService reports a failing /data write.
+func (o *OS) persistDropBox(e DropBoxEntry) *javalang.Throwable {
+	if o.storageFault != nil {
+		if thr := o.storageFault(); thr != nil {
+			o.storageDropped++
+			o.log.Log(1000, 1000, logcat.Error, logcat.TagDropBox,
+				"failed to write entry %s (%s): %s", e.Tag, e.Process, thr.Error())
+			return thr
+		}
+	}
+	o.dropbox.add(e)
+	return nil
 }
 
 // DropBoxEntries returns the filed records, optionally filtered by tag

@@ -194,6 +194,15 @@ type OS struct {
 	rec         *telemetry.Recorder
 	osm         osMetrics
 	dispatchSeq uint64
+	// faultHooks bracket each dispatch when a fault-injection engine is
+	// attached; both fields are nil in normal operation so the dormant cost
+	// is one predicate check per dispatch (benchgate-enforced).
+	faultHooks FaultHooks
+	// storageFault, when set, is consulted before every DropBox write; a
+	// non-nil Throwable drops the record the way a failing /data partition
+	// loses dropbox entries. storageDropped counts the losses.
+	storageFault   func() *javalang.Throwable
+	storageDropped uint64
 	// dispatchPending batches wearos_dispatch_total increments per result;
 	// the batch is flushed to the shared atomics every dispatchFlushEvery
 	// dispatches and by FlushTelemetry (see the constant's comment).
@@ -419,6 +428,49 @@ func (o *OS) SetFlightRecorder(rec *telemetry.Recorder) {
 // FlightRecorder returns the attached flight recorder, or nil.
 func (o *OS) FlightRecorder() *telemetry.Recorder { return o.rec }
 
+// FaultHooks bracket every dispatch for an attached fault-injection engine:
+// Pre runs with the dispatch sequence number before delivery (the engine
+// opens/closes fault windows on these deterministic coordinates), Post runs
+// after delivery with the observed result (the engine's in-window oracle).
+type FaultHooks struct {
+	Pre  func(seq uint64)
+	Post func(seq uint64, res DeliveryResult)
+}
+
+// SetFaultHooks attaches (or, with the zero value, detaches) the dispatch
+// fault hooks. Hooks are keyed on the dispatch sequence number — a per-boot
+// deterministic coordinate — never wall time, so fault schedules replay
+// byte-identically.
+func (o *OS) SetFaultHooks(h FaultHooks) { o.faultHooks = h }
+
+// DispatchSeq returns the number of dispatches the device has performed.
+func (o *OS) DispatchSeq() uint64 { return o.dispatchSeq }
+
+// SetStorageFault installs (or, with nil, lifts) an injected persistent-
+// storage fault: DropBox writes consult it and a non-nil Throwable drops
+// the record with an I/O error logged against DropBoxManagerService.
+func (o *OS) SetStorageFault(fault func() *javalang.Throwable) { o.storageFault = fault }
+
+// StorageDropped returns how many DropBox records injected storage faults
+// have destroyed since boot.
+func (o *OS) StorageDropped() uint64 { return o.storageDropped }
+
+// FileDropBox files an entry through the same storage path the failure
+// oracles use, returning the injected write error if one fired. The fault
+// engine's storage probes call this with a probe tag.
+func (o *OS) FileDropBox(e DropBoxEntry) *javalang.Throwable {
+	return o.persistDropBox(e)
+}
+
+// RestartSensorService brings the native sensor service back with a fresh
+// PID — the recovery half of a kill/restart fault window (reboots perform
+// the same restart as part of the boot sequence).
+func (o *OS) RestartSensorService() {
+	o.sensor.Restart(o.procs.allocPID())
+	o.log.Log(1000, 1000, logcat.Info, logcat.TagSystemServer,
+		"restarting crashed service sensorservice (pid %d)", o.sensor.PID())
+}
+
 // AttachTelemetry wires a metric registry (and optional tracer) into a
 // device booted without one — the snapshot/clone path shares one immutable
 // Config per template, so per-shard registries cannot ride in on Config.
@@ -512,7 +564,13 @@ func (o *OS) dispatch(in *intent.Intent, kind manifest.ComponentType) DeliveryRe
 		sp = o.tracer.Start(name)
 	}
 	o.dispatchSeq++
+	if o.faultHooks.Pre != nil {
+		o.faultHooks.Pre(o.dispatchSeq)
+	}
 	result := o.deliver(in, kind, verb, sp)
+	if o.faultHooks.Post != nil {
+		o.faultHooks.Post(o.dispatchSeq, result)
+	}
 	sp.End()
 	if o.rec != nil {
 		// Static result names and intent-owned strings: the slot write
@@ -720,7 +778,7 @@ func (o *OS) settle(proc *Process, comp *manifest.Component, tr ComponentTraits,
 		if out.Thrown != nil {
 			anrEntry.ExceptionClass = out.Thrown.Class
 		}
-		o.dropbox.add(anrEntry)
+		o.persistDropBox(anrEntry)
 		if out.Thrown != nil {
 			// The exception that wedged the looper is visible in the log
 			// even though the process did not crash.
@@ -777,7 +835,7 @@ func (o *OS) crashProcess(proc *Process, comp *manifest.Component, thr *javalang
 	o.router.SetAlive(proc.PID, false)
 	o.osm.procDeaths.Inc()
 	o.osm.liveProcs.Set(float64(o.procs.live()))
-	o.dropbox.add(DropBoxEntry{
+	o.persistDropBox(DropBoxEntry{
 		Time: o.clock.Now(), Tag: TagAppCrash,
 		Process: proc.Name, Component: comp.Name,
 		ExceptionClass: thr.Root().Class,
@@ -799,7 +857,7 @@ func (o *OS) reboot(reason string) {
 	o.osm.liveProcs.Set(float64(o.procs.live()))
 	o.osm.reboots.Inc()
 	o.rebootLog = append(o.rebootLog, o.clock.Now())
-	o.dropbox.add(DropBoxEntry{
+	o.persistDropBox(DropBoxEntry{
 		Time: o.clock.Now(), Tag: TagSystemRestart,
 		Process: "system_server", Detail: reason,
 	})

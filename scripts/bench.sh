@@ -3,7 +3,7 @@
 # farm.
 #
 # Runs the hot-path benchmark suite plus the farm snapshot/fresh-boot pair
-# and the device shard-boot microbenchmarks, emits BENCH_7.json
+# and the device shard-boot microbenchmarks, emits BENCH_8.json
 # (machine-readable current numbers next to the frozen pre-optimization
 # baselines), and fails if any gated benchmark regresses past its ceiling
 # or the farm's snapshot speedup drops under its 2x floor. The ceilings are
@@ -17,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 raw="$(mktemp -t qgj-bench-XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -28,14 +28,15 @@ go test -run '^$' \
     -bench 'CampaignInstrumented|CampaignNoTelemetry|TableI_CampaignGeneration|IntentString|LogcatAppend|LogcatFormatParse' \
     -benchmem -benchtime=1s -count=3 . | tee "$raw"
 
-# The dispatch trio feeds two ratio gates (telemetry delta <=8%, recorder
-# delta <=5%) comparing ~300ns numbers. -count=N would run each benchmark's
-# repetitions back to back, so slow thermal/frequency drift lands entirely
-# on whichever benchmark runs last and biases the ratios; five separate
-# short invocations interleave the trio instead, and benchgate's per-bench
-# minima then compare samples taken under like conditions.
+# The dispatch quartet feeds three ratio gates (telemetry delta <=8%,
+# recorder delta <=5%, dormant fault-hook delta <=5%) comparing ~300ns
+# numbers. -count=N would run each benchmark's repetitions back to back, so
+# slow thermal/frequency drift lands entirely on whichever benchmark runs
+# last and biases the ratios; five separate short invocations interleave the
+# quartet instead, and benchgate's per-bench minima then compare samples
+# taken under like conditions.
 for _ in 1 2 3 4 5; do
-    go test -run '^$' -bench 'DispatchNoEffect|DispatchNoTelemetry|DispatchRecorder' \
+    go test -run '^$' -bench 'DispatchNoEffect|DispatchNoTelemetry|DispatchRecorder|DispatchFaultHooks' \
         -benchmem -benchtime=1s -count=1 . | tee -a "$raw"
 done
 

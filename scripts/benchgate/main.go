@@ -1,6 +1,6 @@
 // Command benchgate parses `go test -bench` output, compares the hot-path
 // benchmarks against the frozen pre-optimization baseline and the
-// regression ceilings, writes the machine-readable BENCH_7.json artifact,
+// regression ceilings, writes the machine-readable BENCH_8.json artifact,
 // and exits non-zero if any gated number is over its ceiling or the farm's
 // snapshot speedup drops under its floor.
 //
@@ -46,6 +46,7 @@ var gates = map[string]*result{
 	"BenchmarkDispatchNoEffect":          {BaselineNs: 1845, BaselineAllocs: 18, CeilingNs: 700, CeilingAllocs: 0.1},
 	"BenchmarkDispatchNoTelemetry":       {BaselineNs: 1843, CeilingNs: 700, CeilingAllocs: 0.1},
 	"BenchmarkDispatchRecorder":          {BaselineNs: 1845, CeilingNs: 735, CeilingAllocs: 0.1},
+	"BenchmarkDispatchFaultHooks":        {BaselineNs: 281, CeilingNs: 735, CeilingAllocs: 0.1},
 	"BenchmarkCampaignInstrumented":      {BaselineNs: 6777638, BaselineAllocs: 54226, CeilingNs: 2.3e6, CeilingAllocs: 1000},
 	"BenchmarkCampaignNoTelemetry":       {BaselineNs: 6970505, BaselineAllocs: 52861, CeilingNs: 2.1e6, CeilingAllocs: 800},
 	"BenchmarkTableI_CampaignGeneration": {BaselineNs: 814105, BaselineAllocs: 8798, CeilingNs: 7.2e5, CeilingAllocs: 5000},
@@ -87,6 +88,13 @@ const dispatchDeltaCeiling = 0.08
 // telemetry pair whose ceilings predate min-of-N.
 const recorderDeltaCeiling = 0.05
 
+// faultDeltaCeiling bounds DispatchFaultHooks/DispatchNoEffect - 1: the cost
+// of an attached-but-dormant fault engine on every dispatch outside a fault
+// window (two hook indirections plus one cached-coordinate compare). Budget
+// is <5% (docs/faults.md); measured within noise of zero min-of-5. The pair
+// runs interleaved like the recorder pair, so the same 5% applies.
+const faultDeltaCeiling = 0.05
+
 // farmSpeedupFloor is the snapshot tentpole's acceptance bar: the same
 // eight-worker farm run must be at least this many times faster cloning
 // shard devices from a snapshot than booting each fresh. Measured min-of-3
@@ -107,6 +115,10 @@ type output struct {
 	// path (the flight recorder's marginal cost).
 	DispatchRecorderDelta        float64 `json:"dispatch_recorder_delta"`
 	DispatchRecorderDeltaCeiling float64 `json:"dispatch_recorder_delta_ceiling"`
+	// DispatchFaultDelta is fault-hooks-attached/detached - 1 for the same
+	// path (the dormant fault engine's marginal cost).
+	DispatchFaultDelta        float64 `json:"dispatch_fault_delta"`
+	DispatchFaultDeltaCeiling float64 `json:"dispatch_fault_delta_ceiling"`
 	// FarmSnapshotSpeedup is FreshBoot ns/op over Snapshot ns/op for the
 	// eight-worker farm benchmark pair.
 	FarmSnapshotSpeedup      float64  `json:"farm_snapshot_speedup"`
@@ -117,7 +129,7 @@ type output struct {
 
 func main() {
 	input := flag.String("input", "", "raw `go test -bench` output file")
-	outPath := flag.String("output", "BENCH_7.json", "JSON artifact path")
+	outPath := flag.String("output", "BENCH_8.json", "JSON artifact path")
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
@@ -138,6 +150,7 @@ func main() {
 		Benchmarks:                    map[string]*result{},
 		DispatchTelemetryDeltaCeiling: dispatchDeltaCeiling,
 		DispatchRecorderDeltaCeiling:  recorderDeltaCeiling,
+		DispatchFaultDeltaCeiling:     faultDeltaCeiling,
 		FarmSnapshotSpeedupFloor:      farmSpeedupFloor,
 		Pass:                          true,
 	}
@@ -180,6 +193,15 @@ func main() {
 		}
 	}
 
+	hooks, okH := parsed["BenchmarkDispatchFaultHooks"]
+	if okA && okH && inst.NsPerOp > 0 {
+		out.DispatchFaultDelta = round4(hooks.NsPerOp/inst.NsPerOp - 1)
+		if out.DispatchFaultDelta > faultDeltaCeiling {
+			out.fail("dispatch fault-hook delta %.1f%% exceeds %.0f%%",
+				out.DispatchFaultDelta*100, faultDeltaCeiling*100)
+		}
+	}
+
 	snapRun, okS := parsed["BenchmarkFarm8Snapshot"]
 	freshRun, okF := parsed["BenchmarkFarm8FreshBoot"]
 	if okS && okF && snapRun.NsPerOp > 0 {
@@ -207,8 +229,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%; recorder delta %.1f%%; farm snapshot speedup %.2fx\n",
-		len(out.Benchmarks), out.DispatchTelemetryDelta*100, out.DispatchRecorderDelta*100, out.FarmSnapshotSpeedup)
+	fmt.Printf("benchgate: %d benchmarks within ceilings; telemetry delta %.1f%%; recorder delta %.1f%%; fault-hook delta %.1f%%; farm snapshot speedup %.2fx\n",
+		len(out.Benchmarks), out.DispatchTelemetryDelta*100, out.DispatchRecorderDelta*100, out.DispatchFaultDelta*100, out.FarmSnapshotSpeedup)
 }
 
 func (o *output) fail(format string, args ...any) {

@@ -133,6 +133,34 @@ curl -s "$base/farm?campaign=bogus" | grep -q '"error"'
 curl -fsS "$base/metrics" | grep -q '^service_leases_expired_total [1-9]'
 curl -fsS "$base/api/v1/campaigns/$id/metrics" | grep -q '^campaign_shards_done_total 4'
 
+# Fault-injection campaign smoke: campaign F through the same coordinator,
+# with another mid-lease SIGKILL. The OS-fault schedule is keyed on dispatch
+# sequence numbers, so the reclaimed shard's re-execution and the in-process
+# run must both produce byte-identical exports, graceful-degradation
+# verdicts included.
+fault_spec="-app com.heartwatch.wear,com.strava.wear -campaigns F -quick 8"
+fid="$("$bindir/farmd" submit -addr "$base" $fault_spec)"
+: > "$victimlog"
+"$bindir/qgj" -worker "$base" -worker-name fault-victim -throttle 60s 2>"$victimlog" &
+victim_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'lease l' "$victimlog" && break
+    sleep 0.1
+done
+grep -q 'lease l' "$victimlog"
+"$bindir/qgj" -worker "$base" -worker-name fault-w1 -poll 100ms 2>/dev/null &
+w1_pid=$!
+kill -9 "$victim_pid" && wait "$victim_pid" 2>/dev/null || true
+victim_pid=""
+"$bindir/farmd" wait -addr "$base" -id "$fid" -quiet
+"$bindir/farmd" export -addr "$base" -id "$fid" -o "$svcdata/fault-distributed.json"
+kill -TERM "$w1_pid"
+wait "$w1_pid"
+w1_pid=""
+"$bindir/farmd" local $fault_spec -workers 2 -o "$svcdata/fault-serial.json"
+cmp "$svcdata/fault-distributed.json" "$svcdata/fault-serial.json"
+grep -q '"faultResilience"' "$svcdata/fault-distributed.json"
+
 # Coordinator drains on SIGTERM: journals flushed, clean exit.
 kill -TERM "$farmd_pid"
 wait "$farmd_pid"
