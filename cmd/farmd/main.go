@@ -131,6 +131,7 @@ func specFlags(fs *flag.FlagSet) func() service.CampaignSpec {
 	app := fs.String("app", "", "comma-separated package allowlist (empty = whole fleet)")
 	quick := fs.Int("quick", 0, "scale factor k (>0 shrinks campaigns; 0 = full paper scale)")
 	noSnapshot := fs.Bool("no-snapshot", false, "workers boot each shard fresh instead of cloning a snapshot")
+	noPersist := fs.Bool("no-persist", false, "workers clone a device per shard instead of reusing one via in-place reset")
 	noTriage := fs.Bool("no-triage", false, "skip crash bucketing and minimization in the merge")
 	return func() service.CampaignSpec {
 		spec := service.CampaignSpec{
@@ -139,6 +140,7 @@ func specFlags(fs *flag.FlagSet) func() service.CampaignSpec {
 			Campaigns:       *campaigns,
 			Quick:           *quick,
 			DisableSnapshot: *noSnapshot,
+			DisablePersist:  *noPersist,
 			DisableTriage:   *noTriage,
 		}
 		if *app != "" {

@@ -63,6 +63,7 @@ func run(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "farm mode: journal completed shards to this file")
 	resume := fs.Bool("resume", false, "farm mode: resume from -checkpoint instead of starting over")
 	snapshotMode := fs.String("snapshot", "on", "farm mode: clone shard devices from a booted snapshot (on) or boot each fresh (off); results are identical")
+	persistMode := fs.String("persist", "on", "farm mode: reuse each worker's device across shards via in-place reset (on) or clone per shard (off); results are identical")
 	worker := fs.String("worker", "", "worker mode: lease and execute shards from the farmd coordinator at this URL")
 	workerName := fs.String("worker-name", "", "worker mode: name reported in leases (default qgj-<pid>)")
 	exitIdle := fs.Bool("exit-idle", false, "worker mode: exit when the coordinator has no pending shards")
@@ -77,9 +78,12 @@ func run(args []string) error {
 	if *snapshotMode != "on" && *snapshotMode != "off" {
 		return fmt.Errorf("-snapshot must be on or off, got %q", *snapshotMode)
 	}
+	if *persistMode != "on" && *persistMode != "off" {
+		return fmt.Errorf("-persist must be on or off, got %q", *persistMode)
+	}
 
 	sharding := core.Sharding{Workers: *workers, Checkpoint: *checkpoint, Resume: *resume,
-		DisableSnapshot: *snapshotMode == "off"}
+		DisableSnapshot: *snapshotMode == "off", DisablePersist: *persistMode == "off"}
 	if sharding.Enabled() {
 		if *resume && *checkpoint == "" {
 			return fmt.Errorf("-resume requires -checkpoint")
@@ -279,6 +283,15 @@ func runFarm(sharding core.Sharding, seed uint64, app, campaign string, all bool
 		if clone := snap.Histograms["farm_clone_seconds"]; clone.Count > 0 {
 			line += fmt.Sprintf(" clone-avg=%s",
 				time.Duration(clone.Sum/float64(clone.Count)*float64(time.Second)).Round(time.Microsecond))
+		}
+		if reuses := snap.Counters["farm_persist_reuses_total"]; reuses > 0 {
+			line += fmt.Sprintf(" persist reuses=%d retires=%d fallbacks=%d",
+				reuses, snap.Counters["farm_persist_retires_total"],
+				snap.Counters["farm_persist_fallbacks_total"])
+			if reset := snap.Histograms["farm_reset_seconds"]; reset.Count > 0 {
+				line += fmt.Sprintf(" reset-avg=%s",
+					time.Duration(reset.Sum/float64(reset.Count)*float64(time.Second)).Round(time.Microsecond))
+			}
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}

@@ -63,6 +63,10 @@ type behavior struct {
 	// draw is the component's private random stream, used only for
 	// stochastic reactions; deterministic per fleet seed.
 	draw *rng.Source
+	// drawInit is draw's position right after sampling; FleetTemplate.Reset
+	// rewinds the stream here so a reused fleet replays the same per-delivery
+	// draws a freshly instantiated one would.
+	drawInit uint64
 	// uiProfile switches the component to the launcher-style probabilistic
 	// model for QGJ-UI runs.
 	uiProfile bool
@@ -180,6 +184,7 @@ func sampleBehavior(cn intent.ComponentName, p *populationParams, crashy bool, r
 		reactions: make(map[DefectKind]reaction),
 		draw:      r.Split("draw"),
 	}
+	b.drawInit = b.draw.State()
 	for _, kind := range AllDefectKinds {
 		switch {
 		case crashy && r.Bool(p.crashKindProb[kind]):
@@ -216,6 +221,7 @@ func uiBehavior(cn intent.ComponentName, r *rng.Source) *behavior {
 		draw:      r.Split("ui-draw"),
 		uiProfile: true,
 	}
+	b.drawInit = b.draw.State()
 	semiValidKinds := []DefectKind{KindMismatch, KindMissingAction, KindMissingData, KindRandomExtras, KindNullExtra}
 	for _, kind := range semiValidKinds {
 		// Crash and reject compete; crash is drawn first with its tiny

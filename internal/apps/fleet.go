@@ -301,6 +301,40 @@ func (t *FleetTemplate) Instantiate(pkg string) (*Fleet, error) {
 	return f, nil
 }
 
+// Reset rewinds a previously Instantiated fleet back to the state
+// Instantiate(pkg) produces, without resampling: every component behaviour's
+// stochastic draw stream returns to its post-sample position, and the wear
+// scenario overrides re-apply (they are idempotent — reactions are otherwise
+// never mutated after instantiation). It reports false when f was not
+// produced by this template for this package, in which case the caller must
+// instantiate fresh; f is left untouched on the sanity-check failures and
+// remains usable either way.
+func (t *FleetTemplate) Reset(f *Fleet, pkg string) bool {
+	if f == nil || f.Kind != t.kind || f.Seed != t.seed || len(f.Packages) != len(t.packages) {
+		return false
+	}
+	for i := range f.Packages {
+		if f.Packages[i] != t.packages[i] {
+			return false
+		}
+	}
+	p := f.Package(pkg)
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Components {
+		b := f.behaviors[c.Name]
+		if b == nil {
+			return false
+		}
+		b.draw.Restore(b.drawInit)
+	}
+	if t.kind == WearFleet {
+		f.applyWearScenarios()
+	}
+	return true
+}
+
 // Behavior exposes a component's behaviour model (tests and scenario
 // wiring).
 func (f *Fleet) Behavior(cn intent.ComponentName) *behavior { return f.behaviors[cn] }

@@ -140,6 +140,22 @@ func (r *Router) SetFault(fault func(name string) *javalang.Throwable) {
 	r.fault = fault
 }
 
+// Reset empties the router back to its NewRouter state while reusing the
+// map allocations: endpoints, PID liveness, and death subscriptions drop,
+// the transaction counter rewinds, and the telemetry, flight-recorder, and
+// fault hooks detach (a persistent-mode campaign unit re-attaches its own).
+func (r *Router) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.endpoints)
+	clear(r.alive)
+	clear(r.deathSubs)
+	r.txCount = 0
+	r.txOK, r.txDead, r.txLatency = nil, nil, nil
+	r.rec = nil
+	r.fault = nil
+}
+
 // Transact delivers a synchronous transaction to the named endpoint.
 // Transactions against unknown endpoints or dead owners fail with
 // DeadObjectException, exactly the error apps observe when a remote process

@@ -17,13 +17,13 @@ var benchPackages = []string{
 	"com.citymapper.wear", "com.duolingo.wear",
 }
 
-func runBench(b *testing.B, workers int, freshBoot bool) {
+func runBench(b *testing.B, sharding core.Sharding) {
 	b.Helper()
 	cfg := farm.Config{
 		Seed:          1,
 		Packages:      benchPackages,
 		Gen:           experiments.QuickGen(4),
-		Sharding:      core.Sharding{Workers: workers, DisableSnapshot: freshBoot},
+		Sharding:      sharding,
 		DisableTriage: true,
 	}
 	b.ReportAllocs()
@@ -39,13 +39,22 @@ func runBench(b *testing.B, workers int, freshBoot bool) {
 	}
 }
 
-func BenchmarkCampaign_Serial(b *testing.B) { runBench(b, 1, false) }
+func BenchmarkCampaign_Serial(b *testing.B) { runBench(b, core.Sharding{Workers: 1}) }
 
-func BenchmarkCampaign_Farm8(b *testing.B) { runBench(b, 8, false) }
+func BenchmarkCampaign_Farm8(b *testing.B) { runBench(b, core.Sharding{Workers: 8}) }
 
-// The snapshot acceptance pair: identical run, snapshot clones versus a
-// fresh boot + fleet rebuild per shard. scripts/benchgate enforces the ≥2x
-// speedup floor on this ratio.
-func BenchmarkFarm8Snapshot(b *testing.B) { runBench(b, 8, false) }
+// The boot-strategy acceptance triple: the identical run executed three
+// ways. Persist (the default) keeps one hot device per worker and resets it
+// in place between shards; Snapshot clones a device per shard; FreshBoot
+// boots and rebuilds the fleet per shard. scripts/benchgate enforces the
+// ≥2x snapshot-over-fresh and ≥3x persist-over-snapshot speedup floors on
+// these ratios.
+func BenchmarkFarm8Persist(b *testing.B) { runBench(b, core.Sharding{Workers: 8}) }
 
-func BenchmarkFarm8FreshBoot(b *testing.B) { runBench(b, 8, true) }
+func BenchmarkFarm8Snapshot(b *testing.B) {
+	runBench(b, core.Sharding{Workers: 8, DisablePersist: true})
+}
+
+func BenchmarkFarm8FreshBoot(b *testing.B) {
+	runBench(b, core.Sharding{Workers: 8, DisableSnapshot: true})
+}

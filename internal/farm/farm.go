@@ -145,6 +145,13 @@ type farmMetrics struct {
 	cloneSeconds   *telemetry.Histogram
 	queueWait      *telemetry.Histogram
 	recorderEvents *telemetry.Counter
+	// Persistent-executor outcomes: shards served by resetting a worker's
+	// hot device in place, devices retired after a failed reset, and shards
+	// that fell back to a fresh clone while persist was enabled.
+	persistReuses    *telemetry.Counter
+	persistRetires   *telemetry.Counter
+	persistFallbacks *telemetry.Counter
+	resetSeconds     *telemetry.Histogram
 }
 
 func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
@@ -164,6 +171,11 @@ func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
 		cloneSeconds:   reg.Histogram("farm_clone_seconds", telemetry.DefLatencyBuckets),
 		queueWait:      reg.Histogram("farm_shard_queue_wait_seconds", telemetry.DefLatencyBuckets),
 		recorderEvents: reg.Counter("farm_recorder_events_total"),
+
+		persistReuses:    reg.Counter("farm_persist_reuses_total"),
+		persistRetires:   reg.Counter("farm_persist_retires_total"),
+		persistFallbacks: reg.Counter("farm_persist_fallbacks_total"),
+		resetSeconds:     reg.Histogram("farm_reset_seconds", telemetry.DefLatencyBuckets),
 	}
 }
 
@@ -386,6 +398,10 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, comps map[stri
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one persistent executor: a hot device reset in
+			// place between the shards this worker leases, with transparent
+			// fallback to cloning (persist.go).
+			ex := newUnitExecutor()
 			for idx := range idxCh {
 				if failed() {
 					continue // drain
@@ -395,7 +411,7 @@ func runPending(cfg Config, kind apps.FleetKind, plan []ShardKey, comps map[stri
 				met.inflight.Add(1)
 				cfg.Status.markRunning(idx, wait)
 				start := time.Now()
-				sr, err := runShard(cfg, kind, plan[idx], met)
+				sr, err := runShard(cfg, kind, plan[idx], met, ex)
 				dur := time.Since(start)
 				met.shardSeconds.Observe(dur.Seconds())
 				met.inflight.Add(-1)
@@ -473,8 +489,8 @@ func scheduleLPT(pending []int, plan []ShardKey, comps map[string]int, gen core.
 // shard's generator seed is a SplitMix64 split of the study seed on the
 // shard key, so generation is independent of execution order and worker
 // count.
-func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics) (*ShardResult, error) {
-	fleet, dev, source, err := bootShard(cfg, kind, key.Package, met)
+func runShard(cfg Config, kind apps.FleetKind, key ShardKey, met farmMetrics, ex *unitExecutor) (*ShardResult, error) {
+	fleet, dev, source, err := ex.boot(cfg, kind, key.Package, met)
 	if err != nil {
 		return nil, err
 	}
@@ -607,18 +623,22 @@ func triageCrashes(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, results [
 		all = append(all, sr.Crashes...)
 	}
 	res := triage.Bucketize(all)
+	// One persistent executor serves every bucket's oracle device: triage
+	// runs serially after the merge, so the buckets re-use a single hot
+	// device the same way a worker's shards do.
+	ex := newUnitExecutor()
 	for i := range res.Buckets {
-		minimizeBucket(cfg, kind, fleet, &res.Buckets[i])
+		minimizeBucket(cfg, kind, fleet, &res.Buckets[i], ex)
 	}
 	return res
 }
 
 // minimizeBucket reduces the bucket's exemplar intent while the same stack
 // bucket keeps reproducing on a fresh oracle device. Oracle boots go
-// through bootShard too (clones when snapshots are enabled) but with a
-// zero-value farmMetrics so triage does not pollute the shard-level
-// hit/clone telemetry.
-func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triage.Bucket) {
+// through the executor too (reset-or-clone when snapshots are enabled) but
+// with a zero-value farmMetrics so triage does not pollute the shard-level
+// hit/clone/persist telemetry.
+func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triage.Bucket, ex *unitExecutor) {
 	// Only exception-style failures minimize: a fault verdict is caused by
 	// the injected fault window, not the intent in flight, so shrinking that
 	// intent on a fault-free oracle device can never reproduce the bucket.
@@ -633,7 +653,7 @@ func minimizeBucket(cfg Config, kind apps.FleetKind, fleet *apps.Fleet, b *triag
 	if !ok {
 		return
 	}
-	_, dev, _, err := bootShard(cfg, kind, exemplar.Intent.Component.Package, farmMetrics{})
+	_, dev, _, err := ex.boot(cfg, kind, exemplar.Intent.Component.Package, farmMetrics{})
 	if err != nil {
 		return
 	}

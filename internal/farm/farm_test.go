@@ -311,7 +311,7 @@ func TestStatusBoardTracksRun(t *testing.T) {
 		if sh.State != farm.StateDone {
 			t.Fatalf("shard %s state = %q", sh.Key, sh.State)
 		}
-		if sh.Source != farm.BootClone && sh.Source != farm.BootFresh {
+		if sh.Source != farm.BootClone && sh.Source != farm.BootFresh && sh.Source != farm.BootReuse {
 			t.Fatalf("shard %s boot source = %q", sh.Key, sh.Source)
 		}
 		if sh.Sent == 0 {

@@ -125,12 +125,39 @@ func (p *Plan) EstimatedIntents(idx int) int {
 // worker goroutine would: snapshot-cloned (or fresh-booted) device, private
 // fleet behaviour state, per-shard generator split, triage collection and
 // flight recording per the plan's Config. Safe for concurrent use — shards
-// share nothing but the immutable boot templates.
+// share nothing but the immutable boot templates. Callers executing many
+// shards sequentially should prefer an Executor, which additionally reuses
+// a hot device across the calls.
 func (p *Plan) ExecuteShard(idx int) (*ShardResult, error) {
 	if idx < 0 || idx >= len(p.shards) {
 		return nil, fmt.Errorf("farm: shard index %d outside plan of %d", idx, len(p.shards))
 	}
-	return runShard(p.cfg, p.kind, p.shards[idx], newFarmMetrics(p.cfg.Telemetry))
+	return runShard(p.cfg, p.kind, p.shards[idx], newFarmMetrics(p.cfg.Telemetry), nil)
+}
+
+// Executor is a persistent-mode shard runner bound to one plan: the same
+// hot-device-reset reuse a farm worker goroutine gets, exposed to
+// distributed callers that execute leased shards one at a time in a loop
+// (the service worker). Not safe for concurrent use — one Executor per
+// executing goroutine, like one device per worker.
+type Executor struct {
+	p  *Plan
+	ex *unitExecutor
+}
+
+// NewExecutor returns a fresh persistent executor for this plan.
+func (p *Plan) NewExecutor() *Executor {
+	return &Executor{p: p, ex: newUnitExecutor()}
+}
+
+// ExecuteShard runs one work unit like Plan.ExecuteShard, reusing the
+// executor's hot device when the plan's Sharding allows persist.
+func (e *Executor) ExecuteShard(idx int) (*ShardResult, error) {
+	p := e.p
+	if idx < 0 || idx >= len(p.shards) {
+		return nil, fmt.Errorf("farm: shard index %d outside plan of %d", idx, len(p.shards))
+	}
+	return runShard(p.cfg, p.kind, p.shards[idx], newFarmMetrics(p.cfg.Telemetry), e.ex)
 }
 
 // Merge folds one complete result set, in canonical plan order, into the

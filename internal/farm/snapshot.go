@@ -35,9 +35,23 @@ type snapshotCache struct {
 
 // cacheLimit bounds each cache map. Real processes use a handful of
 // (kind, seed, config) combinations; a runaway caller cycling seeds (e.g. a
-// fuzz test) must not grow the maps without bound, so overflowing resets
-// them — correctness never depends on a hit.
+// fuzz test) must not grow the maps without bound, so hitting the limit
+// evicts one resident entry to make room — correctness never depends on a
+// hit. (Evicting a single entry, not the whole map: dropping everything on
+// overflow would force every concurrent run sharing the cache to rebuild
+// its template on its next miss.)
 const cacheLimit = 16
+
+// evictOne removes one arbitrary entry so an insert stays within
+// cacheLimit. Go's map iteration order is effectively random, which is a
+// perfectly good eviction policy for a cache whose working set fits many
+// times over in normal operation.
+func evictOne[K comparable, V any](m map[K]V) {
+	for k := range m {
+		delete(m, k)
+		return
+	}
+}
 
 // bootCache is the process-wide template store. Templates are immutable
 // once built, so sharing across concurrent farm runs is safe.
@@ -61,7 +75,7 @@ func (c *snapshotCache) fleetTemplate(kind apps.FleetKind, seed uint64) (t *apps
 		return nil, false, err
 	}
 	if len(c.fleets) >= cacheLimit {
-		c.fleets = nil
+		evictOne(c.fleets)
 	}
 	if c.fleets == nil {
 		c.fleets = make(map[fleetKey]*apps.FleetTemplate)
@@ -85,7 +99,7 @@ func (c *snapshotCache) deviceSnapshot(cfg wearos.Config) (s *wearos.Snapshot, h
 		return nil, false, err
 	}
 	if len(c.devs) >= cacheLimit {
-		c.devs = nil
+		evictOne(c.devs)
 	}
 	if c.devs == nil {
 		c.devs = make(map[wearos.Config]*wearos.Snapshot)
@@ -145,4 +159,7 @@ func bootShard(cfg Config, kind apps.FleetKind, pkgName string, met farmMetrics)
 const (
 	BootClone = "clone"
 	BootFresh = "fresh-boot"
+	// BootReuse marks a shard served by the persistent executor's hot device
+	// (reset in place instead of cloned; see persist.go).
+	BootReuse = "reuse"
 )

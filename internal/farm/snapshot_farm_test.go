@@ -23,9 +23,14 @@ func TestSnapshotMatchesFreshBootMerge(t *testing.T) {
 		name     string
 		sharding core.Sharding
 	}{
-		{"snapshot/workers=1", core.Sharding{Workers: 1}},
-		{"snapshot/workers=4", core.Sharding{Workers: 4}},
-		{"snapshot/workers=8", core.Sharding{Workers: 8}},
+		// The zero Sharding value runs persistent mode (snapshot clones plus
+		// hot-device reuse), so the workers=N rows also prove the persistent
+		// executor's reuse path merges byte-identically.
+		{"persist/workers=1", core.Sharding{Workers: 1}},
+		{"persist/workers=4", core.Sharding{Workers: 4}},
+		{"persist/workers=8", core.Sharding{Workers: 8}},
+		{"clone-per-shard/workers=1", core.Sharding{Workers: 1, DisablePersist: true}},
+		{"clone-per-shard/workers=8", core.Sharding{Workers: 8, DisablePersist: true}},
 		{"freshboot/workers=4", core.Sharding{Workers: 4, DisableSnapshot: true}},
 	} {
 		if got := exportForCompare(t, runStudy(t, tc.sharding)); got != want {
@@ -62,12 +67,28 @@ func TestCheckpointCrossSnapshotModes(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	killedNoPersist := filepath.Join(dir, "killed-no-persist.ckpt")
+	if err := os.WriteFile(killedNoPersist, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	resumed := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killed, Resume: true})
 	if got := exportForCompare(t, resumed); got != want {
 		t.Errorf("snapshot-mode resume of a fresh-boot journal differs:\n--- fresh-boot full ---\n%s\n--- resumed ---\n%s", want, got)
 	}
 	if resumed.Sharding.Resumed != keep {
 		t.Fatalf("resumed = %d shards, want %d", resumed.Sharding.Resumed, keep)
+	}
+
+	// DisablePersist likewise stays out of the fingerprint: the same torn
+	// fresh-boot journal resumes under clone-per-shard mode with identical
+	// output (the resume above already exercised persistent mode).
+	resumedNoPersist := runStudy(t, core.Sharding{Workers: 2, Checkpoint: killedNoPersist, Resume: true, DisablePersist: true})
+	if got := exportForCompare(t, resumedNoPersist); got != want {
+		t.Error("clone-per-shard resume of a fresh-boot journal differs")
+	}
+	if resumedNoPersist.Sharding.Resumed != keep {
+		t.Fatalf("no-persist resumed = %d shards, want %d", resumedNoPersist.Sharding.Resumed, keep)
 	}
 
 	// The opposite direction: the journal completed under snapshots replays
@@ -81,19 +102,23 @@ func TestCheckpointCrossSnapshotModes(t *testing.T) {
 	}
 }
 
-// TestSnapshotTelemetry verifies the new farm metrics: every shard records
-// exactly one cache outcome, one clone latency, and one queue wait when
-// snapshots are on, and none of those when they are off. The boot cache is
-// process-global (earlier tests may have warmed it), so the hit/miss split
-// is not asserted — only the total.
+// TestSnapshotTelemetry verifies the farm boot metrics across the three
+// execution modes. Persistent mode: every shard records one cache outcome
+// and one queue wait, and comes up either by hot-device reuse (one reset
+// latency) or by a fallback clone (one clone latency) — the two must
+// account for every shard. Clone-per-shard mode (persist off): one clone
+// latency per shard and no persist outcomes. Fresh-boot mode: none of the
+// above. The boot cache is process-global (earlier tests may have warmed
+// it), so the hit/miss split is not asserted — only the total.
 func TestSnapshotTelemetry(t *testing.T) {
-	run := func(disable bool) telemetry.Snapshot {
+	run := func(sharding core.Sharding) telemetry.Snapshot {
+		sharding.Workers = 4
 		reg := telemetry.NewRegistry()
 		res, err := farm.Run(farm.Config{
 			Seed:      1,
 			Packages:  testPackages,
 			Gen:       testGen(),
-			Sharding:  core.Sharding{Workers: 4, DisableSnapshot: disable},
+			Sharding:  sharding,
 			Telemetry: reg,
 		})
 		if err != nil {
@@ -104,28 +129,54 @@ func TestSnapshotTelemetry(t *testing.T) {
 		}
 		return reg.Snapshot()
 	}
-
-	snap := run(false)
 	shards := uint64(4 * len(testPackages))
+
+	snap := run(core.Sharding{})
 	hits := snap.Counters["farm_snapshot_hits_total"]
 	misses := snap.Counters["farm_snapshot_misses_total"]
 	if hits+misses != shards {
 		t.Fatalf("snapshot hits(%d)+misses(%d) = %d, want %d (one outcome per shard)",
 			hits, misses, hits+misses, shards)
 	}
-	if got := snap.Histograms["farm_clone_seconds"].Count; got != shards {
-		t.Fatalf("farm_clone_seconds count = %d, want %d", got, shards)
+	reuses := snap.Counters["farm_persist_reuses_total"]
+	retires := snap.Counters["farm_persist_retires_total"]
+	fallbacks := snap.Counters["farm_persist_fallbacks_total"]
+	if reuses+fallbacks != shards {
+		t.Fatalf("persist reuses(%d)+fallbacks(%d) = %d, want %d (every shard reuses or clones)",
+			reuses, fallbacks, reuses+fallbacks, shards)
+	}
+	if reuses == 0 {
+		t.Fatal("persistent run recorded zero hot-device reuses")
+	}
+	if got := snap.Histograms["farm_clone_seconds"].Count; got != fallbacks {
+		t.Fatalf("farm_clone_seconds count = %d, want %d (one per fallback clone)", got, fallbacks)
+	}
+	if got := snap.Histograms["farm_reset_seconds"].Count; got != reuses+retires {
+		t.Fatalf("farm_reset_seconds count = %d, want %d (one per reset attempt)", got, reuses+retires)
 	}
 	if got := snap.Histograms["farm_shard_queue_wait_seconds"].Count; got != shards {
 		t.Fatalf("farm_shard_queue_wait_seconds count = %d, want %d", got, shards)
 	}
 
-	off := run(true)
+	noPersist := run(core.Sharding{DisablePersist: true})
+	if got := noPersist.Histograms["farm_clone_seconds"].Count; got != shards {
+		t.Fatalf("farm_clone_seconds count = %d, want %d", got, shards)
+	}
+	if n := noPersist.Counters["farm_persist_reuses_total"] +
+		noPersist.Counters["farm_persist_retires_total"] +
+		noPersist.Counters["farm_persist_fallbacks_total"]; n != 0 {
+		t.Fatalf("persist-off run recorded %d persist outcomes", n)
+	}
+
+	off := run(core.Sharding{DisableSnapshot: true})
 	if n := off.Counters["farm_snapshot_hits_total"] + off.Counters["farm_snapshot_misses_total"]; n != 0 {
 		t.Fatalf("fresh-boot run recorded %d snapshot cache outcomes", n)
 	}
 	if got := off.Histograms["farm_clone_seconds"].Count; got != 0 {
 		t.Fatalf("fresh-boot run recorded %d clone latencies", got)
+	}
+	if n := off.Counters["farm_persist_reuses_total"] + off.Counters["farm_persist_fallbacks_total"]; n != 0 {
+		t.Fatalf("fresh-boot run recorded %d persist outcomes", n)
 	}
 }
 

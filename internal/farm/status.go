@@ -27,7 +27,7 @@ const (
 type ShardStatus struct {
 	Key   ShardKey `json:"key"`
 	State string   `json:"state"`
-	// Source is the boot path ("clone" or "fresh-boot"); empty until the
+	// Source is the boot path ("reuse", "clone" or "fresh-boot"); empty until the
 	// shard completes. Resumed shards report no source — they were never
 	// booted in this process.
 	Source string `json:"source,omitempty"`

@@ -346,6 +346,36 @@ func (b *Buffer) Restore(entries []Entry) {
 	b.total += uint64(len(entries))
 }
 
+// ResetRetain returns the ring to the state Restore(baseline) leaves a
+// freshly constructed buffer in, but keeps the (possibly grown) backing
+// array: retention and eviction depend only on maxCap, so a pre-grown ring
+// is observably identical to one that grows lazily. Sinks and telemetry
+// handles are detached — the next campaign unit subscribes its own — and
+// the drop accounting re-arms, including the one-shot first-drop trigger.
+// The persistent-mode device reset uses it so a reused device never re-pays
+// the geometric ring growth that dominates a fresh clone's allocations.
+func (b *Buffer) ResetRetain(baseline []Entry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.start, b.count = 0, 0
+	b.dropped = 0
+	b.sinks = nil
+	b.appended = nil
+	b.droppedGauge = nil
+	if len(baseline) <= len(b.entries) {
+		// The ring already grew past the boot baseline; bulk-copy instead of
+		// re-pushing entry by entry.
+		copy(b.entries, baseline)
+		b.count = len(baseline)
+	} else {
+		for i := range baseline {
+			b.push(baseline[i])
+		}
+	}
+	b.total = uint64(len(baseline))
+	b.flushed = b.total
+}
+
 // grow enlarges a growable ring's backing array by growFactor (capped at
 // maxCap), linearizing retained entries to the front; the caller holds b.mu.
 func (b *Buffer) grow() {

@@ -323,8 +323,20 @@ func (r *Registry) Uninstall(name string) bool {
 	return true
 }
 
+// Clear removes every installed package, returning the registry to its
+// NewRegistry state while reusing the map allocations. The persistent-mode
+// device reset clears and reinstalls the snapshot's package set in place.
+func (r *Registry) Clear() {
+	clear(r.packages)
+	clear(r.byName)
+	r.order = r.order[:0]
+}
+
 // Package returns the named package, or nil.
 func (r *Registry) Package(name string) *Package { return r.packages[name] }
+
+// Count returns the number of installed packages.
+func (r *Registry) Count() int { return len(r.order) }
 
 // Packages returns all installed packages in installation order.
 func (r *Registry) Packages() []*Package {
@@ -439,8 +451,20 @@ func NewPermissionRegistry(perms ...string) *PermissionRegistry {
 // Register adds a permission string.
 func (pr *PermissionRegistry) Register(perm string) { pr.known[perm] = true }
 
+// Reset replaces the contents with exactly perms, reusing the map
+// allocation.
+func (pr *PermissionRegistry) Reset(perms []string) {
+	clear(pr.known)
+	for _, p := range perms {
+		pr.known[p] = true
+	}
+}
+
 // Known reports whether perm is registered on the device.
 func (pr *PermissionRegistry) Known(perm string) bool { return pr.known[perm] }
+
+// Count returns the number of registered permissions.
+func (pr *PermissionRegistry) Count() int { return len(pr.known) }
 
 // List returns all registered permissions, sorted.
 func (pr *PermissionRegistry) List() []string {

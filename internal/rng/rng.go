@@ -38,6 +38,15 @@ func (s *Source) Split(label string) *Source {
 	return &Source{state: mix(s.state ^ h.Sum64())}
 }
 
+// State returns the stream's internal position for a later Restore. The
+// persistent-mode reset path records a behaviour stream's post-sample
+// position once and rewinds to it between campaign units instead of
+// resampling the whole fleet.
+func (s *Source) State() uint64 { return s.state }
+
+// Restore rewinds the stream to a position previously returned by State.
+func (s *Source) Restore(state uint64) { s.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits (SplitMix64 step).
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -320,6 +320,22 @@ func (s *Service) Restart(pid int) {
 	s.last = nil
 }
 
+// ResetRestart returns the service to its just-booted state with a new
+// PID: Restart's semantics plus zeroed fault counters and a dropped replay
+// cache. Restart deliberately keeps stalled/stale monotonic so observers
+// can diff across reboots; a persistent-mode device reset instead needs
+// the zeros a fresh boot starts with, so it uses this variant.
+func (s *Service) ResetRestart(pid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = ServiceRunning
+	s.pid = pid
+	clear(s.listeners)
+	s.fault = FaultNone
+	s.last = nil
+	s.stalled, s.stale = 0, 0
+}
+
 // Manager is the framework-side SensorManager bound to one client app
 // process. Health apps that bypass Google Fit use it directly.
 type Manager struct {

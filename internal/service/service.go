@@ -64,6 +64,10 @@ type CampaignSpec struct {
 	// DisableSnapshot forces workers onto the fresh-boot path (results are
 	// identical; exists for benchmarking, like the CLI flag).
 	DisableSnapshot bool `json:"disableSnapshot,omitempty"`
+	// DisablePersist turns off the workers' hot-device reuse between leased
+	// shards (results are identical; exists for benchmarking and bisection,
+	// like the CLI flag).
+	DisablePersist bool `json:"disablePersist,omitempty"`
 	// DisableTriage skips crash bucketing and minimization.
 	DisableTriage bool `json:"disableTriage,omitempty"`
 }
@@ -126,7 +130,7 @@ func (s CampaignSpec) FarmConfig() (farm.Config, error) {
 		Campaigns:     campaigns,
 		Packages:      s.Packages,
 		Gen:           gen,
-		Sharding:      core.Sharding{DisableSnapshot: s.DisableSnapshot},
+		Sharding:      core.Sharding{DisableSnapshot: s.DisableSnapshot, DisablePersist: s.DisablePersist},
 		DisableTriage: s.DisableTriage,
 	}, nil
 }

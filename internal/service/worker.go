@@ -77,7 +77,11 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 	if client == nil {
 		client = NewClient(opts.Coordinator, nil)
 	}
-	plans := make(map[string]*farm.Plan)
+	// One persistent executor per campaign fingerprint: the worker executes
+	// leased shards one at a time, so each campaign's shards share a locally
+	// re-planned fleet AND a hot device that is reset in place between
+	// leases (farm persistent mode).
+	executors := make(map[string]*farm.Executor)
 
 	for {
 		if ctx.Err() != nil {
@@ -103,8 +107,8 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 			continue
 		}
 
-		plan := plans[grant.Fingerprint]
-		if plan == nil {
+		executor := executors[grant.Fingerprint]
+		if executor == nil {
 			p, err := grant.Spec.Plan()
 			if err != nil {
 				client.Release(grant.LeaseID)
@@ -117,8 +121,8 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 				return stats, fmt.Errorf("service: lease %s fingerprint %s does not match local plan %s",
 					grant.LeaseID, grant.Fingerprint, fp)
 			}
-			plans[grant.Fingerprint] = p
-			plan = p
+			executor = p.NewExecutor()
+			executors[grant.Fingerprint] = executor
 		}
 
 		logger.Printf("lease %s: campaign %s shard %d (%s)", grant.LeaseID, grant.CampaignID, grant.Shard, grant.Key)
@@ -162,7 +166,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 			}
 		}()
 
-		sr, execErr := plan.ExecuteShard(grant.Shard)
+		sr, execErr := executor.ExecuteShard(grant.Shard)
 		stopHB()
 		hbWG.Wait()
 		if execErr != nil {

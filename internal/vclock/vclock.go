@@ -51,6 +51,24 @@ func NewVirtual(start time.Time) *Virtual {
 	return &Virtual{now: start}
 }
 
+// Reset rewinds the clock to start (Epoch if start is zero), dropping
+// every scheduled timer and the timer sequence counter. The clock ends in
+// the exact state NewVirtual(start) constructs; the persistent-mode device
+// reset uses it to reuse the clock allocation across campaign units.
+func (v *Virtual) Reset(start time.Time) {
+	if start.IsZero() {
+		start = Epoch
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = start
+	v.seq = 0
+	for i := range v.timers {
+		v.timers[i] = nil
+	}
+	v.timers = v.timers[:0]
+}
+
 // Now returns the current virtual instant.
 func (v *Virtual) Now() time.Time {
 	v.mu.Lock()

@@ -71,6 +71,12 @@ type Snapshot struct {
 
 	dropbox []DropBoxEntry
 	aging   agingState
+
+	// stateHash digests the template's reset-relevant state surface at
+	// capture time. ResetTo recomputes the digest over the device after an
+	// in-place restore and retires the device on any mismatch, so reuse can
+	// never silently diverge from the template (see reset.go).
+	stateHash uint64
 }
 
 // Snapshot captures the device's current state for cloning. The device must
@@ -134,6 +140,7 @@ func (o *OS) Snapshot() (*Snapshot, error) {
 	for k, v := range o.gateMsgs {
 		s.gateMsgs[k] = v
 	}
+	s.stateHash = o.resetStateHash()
 	return s, nil
 }
 

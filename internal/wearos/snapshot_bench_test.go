@@ -1,6 +1,11 @@
 package wearos
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/intent"
+	"repro/internal/javalang"
+)
 
 // The shard-boot microbenchmark pair isolates the device-level half of the
 // farm's snapshot win: a full boot sequence (process tables, sensor
@@ -33,6 +38,58 @@ func BenchmarkShardBootClone(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if snap.Clone() == nil {
 			b.Fatal("clone failed")
+		}
+	}
+}
+
+// benchUnit runs one triage-oracle-shaped campaign unit on a bare device:
+// install, handler registration, and one crash repro — the short
+// re-execution the minimizer and crash oracle pay per candidate, where a
+// clone-per-execution strategy hurts most.
+func benchUnit(b *testing.B, o *OS) {
+	b.Helper()
+	if err := o.InstallPackage(snapTestPackage()); err != nil {
+		b.Fatal(err)
+	}
+	main := cn("com.test.app", "MainActivity")
+	o.RegisterHandler(main, func(env *Env, in *intent.Intent) Outcome {
+		return Outcome{Thrown: javalang.New(javalang.ClassNullPointer, "null object reference")}
+	}, ComponentTraits{})
+	if got := o.StartActivity(explicit(main, "android.intent.action.EDIT")); got != DeliveredCrash {
+		b.Fatalf("crash repro = %v", got)
+	}
+}
+
+// The persistent-mode microbenchmark pair: one campaign unit per op, with
+// the device provisioned by cloning the snapshot (the old per-execution
+// cost) versus resetting one hot device in place (the persistent executor's
+// steady state). scripts/benchgate enforces the ≥3x per-unit speedup floor
+// on this ratio and freezes the reset path's near-zero steady-state
+// allocation budget on BenchmarkUnitReset.
+func BenchmarkUnitClone(b *testing.B) {
+	snap, err := New(benchConfig()).Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchUnit(b, snap.Clone())
+	}
+}
+
+func BenchmarkUnitReset(b *testing.B) {
+	snap, err := New(benchConfig()).Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := snap.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchUnit(b, dev)
+		if !dev.ResetTo(snap) {
+			b.Fatal("hot device retired mid-benchmark")
 		}
 	}
 }

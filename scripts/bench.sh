@@ -1,12 +1,14 @@
 #!/bin/sh
-# Benchmark-regression gate for the injection hot path and the snapshot
-# farm.
+# Benchmark-regression gate for the injection hot path, the snapshot farm,
+# and the persistent-mode executor.
 #
-# Runs the hot-path benchmark suite plus the farm snapshot/fresh-boot pair
-# and the device shard-boot microbenchmarks, emits BENCH_8.json
-# (machine-readable current numbers next to the frozen pre-optimization
-# baselines), and fails if any gated benchmark regresses past its ceiling
-# or the farm's snapshot speedup drops under its 2x floor. The ceilings are
+# Runs the hot-path benchmark suite plus the farm boot-strategy triple
+# (persist/snapshot/fresh-boot) and the device-level shard-boot and
+# unit-reset microbenchmark pairs, emits BENCH_10.json (machine-readable
+# current numbers next to the frozen pre-optimization baselines), and fails
+# if any gated benchmark regresses past its ceiling, the farm's snapshot
+# speedup drops under its 2x floor, or the persistent executor's per-unit
+# reset-over-clone speedup drops under its 3x floor. The ceilings are
 # set from the perf passes that introduced them, with ~40-70% headroom for
 # machine-to-machine variance; they exist to catch order-of-magnitude
 # regressions (a reintroduced per-intent allocation, an unbatched counter,
@@ -17,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_10.json}"
 raw="$(mktemp -t qgj-bench-XXXXXX.txt)"
 trap 'rm -f "$raw"' EXIT
 
@@ -32,19 +34,23 @@ go test -run '^$' \
 # recorder delta <=5%, dormant fault-hook delta <=5%) comparing ~300ns
 # numbers. -count=N would run each benchmark's repetitions back to back, so
 # slow thermal/frequency drift lands entirely on whichever benchmark runs
-# last and biases the ratios; five separate short invocations interleave the
-# quartet instead, and benchgate's per-bench minima then compare samples
-# taken under like conditions.
-for _ in 1 2 3 4 5; do
+# last and biases the ratios; eight separate short invocations interleave
+# the quartet instead, and benchgate's per-bench minima then compare
+# samples taken under like conditions (eight rounds, not five: on a shared
+# host the frequency shifts span whole invocations, and each extra round is
+# another chance for every member of the quartet to sample the same fast
+# window instead of one of them minima-ing on a window the others missed).
+for _ in 1 2 3 4 5 6 7 8; do
     go test -run '^$' -bench 'DispatchNoEffect|DispatchNoTelemetry|DispatchRecorder|DispatchFaultHooks' \
         -benchmem -benchtime=1s -count=1 . | tee -a "$raw"
 done
 
-# The farm pair feeds the snapshot speedup floor; the shard-boot pair
-# isolates the device-level clone cost.
-go test -run '^$' -bench 'Farm8Snapshot|Farm8FreshBoot' \
+# The farm triple feeds the snapshot and end-to-end persist speedup floors;
+# the shard-boot pair isolates the device-level clone cost and the unit
+# pair feeds the per-unit persist speedup floor.
+go test -run '^$' -bench 'Farm8Persist|Farm8Snapshot|Farm8FreshBoot' \
     -benchmem -benchtime=1s -count=3 ./internal/farm | tee -a "$raw"
-go test -run '^$' -bench 'ShardBootFresh|ShardBootClone' \
+go test -run '^$' -bench 'ShardBootFresh|ShardBootClone|UnitReset|UnitClone' \
     -benchmem -benchtime=1s -count=3 ./internal/wearos | tee -a "$raw"
 
 # The farm-service queue pair: the in-memory lease cycle and the durable
